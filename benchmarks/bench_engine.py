@@ -1,0 +1,64 @@
+"""Functional-engine microbenchmarks.
+
+Times the numpy execution of the ESP mechanisms themselves: striped
+prefill at increasing DoP and distributed decode steps with 1 vs. 2
+masters.  (These measure the reproduction's engine, not the modelled
+GPU times — useful for tracking regressions in the mechanism code.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DistributedDecoder,
+    FunctionalInstance,
+    TransformerWeights,
+    striped_prefill,
+)
+from repro.engine.reference import next_token_embedding
+
+WEIGHTS = TransformerWeights.random(
+    hidden_size=64, num_heads=8, num_kv_heads=4, num_layers=4, seed=0
+)
+
+
+def _instances(count: int) -> list[FunctionalInstance]:
+    return [
+        FunctionalInstance(i, WEIGHTS.num_layers, WEIGHTS.num_kv_heads, WEIGHTS.head_dim)
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("sp", [1, 2, 4])
+def test_bench_striped_prefill(benchmark, sp):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((128, WEIGHTS.hidden_size))
+
+    def run():
+        return striped_prefill(WEIGHTS, x, _instances(sp), request_id=0)
+
+    result = benchmark(run)
+    benchmark.extra_info["ring_sends"] = result.ring_sends
+
+
+@pytest.mark.parametrize("masters", [1, 2])
+def test_bench_distributed_decode(benchmark, masters):
+    rng = np.random.default_rng(2)
+    instances = _instances(2)
+    prompts = {rid: rng.standard_normal((64, WEIGHTS.hidden_size)) for rid in (0, 1)}
+    last = {}
+    for rid, x in prompts.items():
+        last[rid] = striped_prefill(WEIGHTS, x, instances, request_id=rid).last_hidden
+    decoder = DistributedDecoder(weights=WEIGHTS, instances=instances)
+    assignment = {0: 0, 1: 0} if masters == 1 else {0: 0, 1: 1}
+
+    state = {"hidden": dict(last)}
+
+    def step():
+        inputs = {rid: next_token_embedding(h) for rid, h in state["hidden"].items()}
+        result = decoder.decode_step(inputs, masters=assignment)
+        state["hidden"] = result.hidden
+        return result
+
+    result = benchmark(step)
+    assert result.kv_migrated_tokens == 0

@@ -1,0 +1,31 @@
+"""Figure 14 — overhead of the elastic scaling mechanisms.
+
+Paper anchors: proactive scale-down costs <2% over a plain prefill at
+every (BS, Len); multi-master scale-up buys ~2x at large batch sizes and
+costs <10% at small ones.  The reactive-migration alternative (what the
+baselines pay) is also priced for contrast.
+"""
+
+from repro.experiments.microbench import figure14a, figure14b
+
+
+def test_figure14a_scale_down(benchmark):
+    rows = benchmark(figure14a)
+    worst_proactive = max(r.proactive_overhead for r in rows)
+    worst_reactive = max(r.reactive_overhead for r in rows)
+    benchmark.extra_info["worst_proactive_overhead"] = round(worst_proactive, 4)
+    benchmark.extra_info["worst_reactive_overhead"] = round(worst_reactive, 4)
+    benchmark.extra_info["paper_anchor"] = "proactive < 2%"
+    assert worst_proactive < 0.02
+    assert worst_reactive > worst_proactive
+
+
+def test_figure14b_scale_up(benchmark):
+    rows = benchmark(figure14b)
+    big = next(r for r in rows if r.batch_size == 1024)
+    small = next(r for r in rows if r.batch_size == 1)
+    benchmark.extra_info["speedup_bs1024_4masters"] = round(big.speedup_4_masters, 2)
+    benchmark.extra_info["overhead_bs1"] = round(abs(small.speedup_4_masters - 1), 4)
+    benchmark.extra_info["paper_anchor"] = "~2x at large BS, <10% at small BS"
+    assert big.speedup_4_masters > 1.5
+    assert abs(small.speedup_4_masters - 1.0) < 0.10

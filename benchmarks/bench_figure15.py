@@ -1,0 +1,23 @@
+"""Figure 15 — accuracy of the SIB-fitted analytical model.
+
+Paper anchor: the fitted Eq. 7 model deviates <10% from measured
+iteration times across SP2TP4 / SP4TP2 / SP8TP1 and batch sizes 1-8.
+"""
+
+from repro.experiments.microbench import (
+    figure15,
+    figure15_max_deviation,
+    figure15_mean_deviation,
+)
+
+
+def test_figure15_regenerates(benchmark):
+    points = benchmark(figure15)
+    max_dev = figure15_max_deviation(points)
+    mean_dev = figure15_mean_deviation(points)
+    benchmark.extra_info["max_deviation"] = round(max_dev, 4)
+    benchmark.extra_info["mean_deviation"] = round(mean_dev, 4)
+    benchmark.extra_info["paper_anchor"] = "<10% deviation"
+    benchmark.extra_info["points"] = len(points)
+    assert max_dev < 0.10
+    assert {p.strategy for p in points} == {"SP2TP4", "SP4TP2", "SP8TP1"}

@@ -1,0 +1,33 @@
+"""Figure 2 — scalability of requests with different lengths vs. TP degree.
+
+Paper anchors: prefilling 100K tokens is ~106x slower than 1K on 8 GPUs;
+prefill scales with TP for long prompts, decode barely scales except at
+long context.
+"""
+
+from repro.experiments.microbench import figure2
+
+
+def test_figure2_regenerates(benchmark):
+    rows = benchmark(figure2)
+    long_prefill = next(r for r in rows if r.phase == "prefill" and r.length == 100_000)
+    short_prefill = next(r for r in rows if r.phase == "prefill" and r.length == 10)
+    short_decode = next(r for r in rows if r.phase == "decode" and r.length == 100)
+
+    ratio_100k_1k = (
+        long_prefill.times[8]
+        / next(r for r in rows if r.phase == "prefill" and r.length == 1_000).times[8]
+    )
+    benchmark.extra_info["prefill_100k_over_1k"] = round(ratio_100k_1k, 1)
+    benchmark.extra_info["paper_anchor_ratio"] = 105.97
+    benchmark.extra_info["long_prefill_speedup_tp2_to_tp8"] = round(
+        long_prefill.speedup_at_max_tp, 2
+    )
+    benchmark.extra_info["short_decode_speedup"] = round(
+        short_decode.speedup_at_max_tp, 2
+    )
+
+    assert ratio_100k_1k > 50
+    assert long_prefill.speedup_at_max_tp > 2.5
+    assert short_prefill.speedup_at_max_tp < 2.0
+    assert short_decode.speedup_at_max_tp < 1.3

@@ -1,0 +1,94 @@
+"""Scheduler microbenchmarks (ablation support).
+
+The paper stresses that the four-step scheduler must decide within tens
+of milliseconds (§5).  These benches time one full scheduling pass, the
+batching DP alone (pruned vs. exhaustive — the Eq. 6 ablation), and the
+SIB profile-and-fit bootstrap.
+"""
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.config import default_config
+from repro.core.batching_dp import plan_batches
+from repro.core.global_manager import GlobalManager
+from repro.core.server import LoongServeServer
+from repro.core.sib import ScalingInformationBase
+from repro.costmodel.latency import RooflineCostModel
+from repro.model.spec import LWM_7B_1M
+from repro.parallel.strategy import strategies_for_gpus
+from repro.types import Request, next_request_id
+
+
+def _requests(count: int, seed: int = 0) -> list[Request]:
+    rng = np.random.default_rng(seed)
+    return [
+        Request(
+            request_id=next_request_id(),
+            input_len=int(rng.integers(100, 120_000)),
+            output_len=int(rng.integers(1, 400)),
+        )
+        for _ in range(count)
+    ]
+
+
+def _predictor():
+    cost = RooflineCostModel(cluster=Cluster.homogeneous(8), model=LWM_7B_1M)
+    sib = ScalingInformationBase()
+    return sib.profile_strategies(cost, strategies_for_gpus(8, 2), max_len=200_000)
+
+
+def test_bench_batching_dp_pruned(benchmark):
+    predictor = _predictor()
+    requests = _requests(24)
+    free = {i: 200_000 for i in range(4)}
+    plan = benchmark(
+        plan_batches, requests, [0, 1, 2, 3], free, predictor, 2, True
+    )
+    benchmark.extra_info["batches"] = len(plan.batches)
+
+
+def test_bench_batching_dp_exhaustive(benchmark):
+    predictor = _predictor()
+    requests = _requests(24)
+    free = {i: 200_000 for i in range(4)}
+    benchmark(plan_batches, requests, [0, 1, 2, 3], free, predictor, 2, False)
+
+
+def test_bench_full_scheduling_pass(benchmark):
+    """One GlobalManager.schedule call must fit in an iteration budget
+    (tens of milliseconds, §5)."""
+    config = default_config()
+    cost = RooflineCostModel(cluster=config.cluster, model=config.model)
+    manager = GlobalManager(config, cost)
+    server = LoongServeServer(config, cost_model=cost, manager=manager)
+    server._reset()
+    pending = _requests(32, seed=1)
+
+    def one_pass():
+        return manager.schedule(
+            now=0.0,
+            pending=pending,
+            instances=server.instances,
+            pool=server.pool,
+            decode_batches=[],
+            avg_decode_latency=1.0,
+        )
+
+    plan = benchmark(one_pass)
+    benchmark.extra_info["prefill_batches"] = len(plan.prefills)
+    assert benchmark.stats["mean"] < 0.1  # within the paper's latency budget
+
+
+def test_bench_sib_bootstrap(benchmark):
+    """Profile-and-fit for every SP degree at TP=2 (launch-time cost)."""
+    cost = RooflineCostModel(cluster=Cluster.homogeneous(8), model=LWM_7B_1M)
+
+    def bootstrap():
+        sib = ScalingInformationBase()
+        return sib.profile_strategies(
+            cost, strategies_for_gpus(8, 2), max_len=200_000
+        )
+
+    model = benchmark(bootstrap)
+    assert len(model.strategies) == 4

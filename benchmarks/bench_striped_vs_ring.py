@@ -1,0 +1,56 @@
+"""Striped vs. contiguous-block (Ring Attention) layout (§2.3).
+
+The paper extends *Striped* Attention rather than Ring Attention because
+contiguous blocks leave the causal attention work badly imbalanced.
+This bench measures both layouts on the functional engine and reports
+the bottleneck-work ratio that motivates the choice.
+"""
+
+import numpy as np
+
+from repro.engine import FunctionalInstance, TransformerWeights, striped_prefill
+from repro.engine.striped import (
+    attention_pairs_per_instance,
+    block_assignment,
+    stripe_assignment,
+)
+
+WEIGHTS = TransformerWeights.random(
+    hidden_size=32, num_heads=4, num_kv_heads=2, num_layers=2, seed=0
+)
+
+
+def _instances(count: int) -> list[FunctionalInstance]:
+    return [
+        FunctionalInstance(i, WEIGHTS.num_layers, WEIGHTS.num_kv_heads, WEIGHTS.head_dim)
+        for i in range(count)
+    ]
+
+
+def test_bench_striped_layout(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((256, WEIGHTS.hidden_size))
+    run = benchmark(
+        lambda: striped_prefill(WEIGHTS, x, _instances(4), request_id=0)
+    )
+    pairs = attention_pairs_per_instance(stripe_assignment(256, 4))
+    benchmark.extra_info["bottleneck_over_mean"] = round(
+        max(pairs) / (sum(pairs) / len(pairs)), 3
+    )
+    assert run.ring_sends > 0
+
+
+def test_bench_block_layout(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((256, WEIGHTS.hidden_size))
+    assignment = block_assignment(256, 4)
+    benchmark(
+        lambda: striped_prefill(
+            WEIGHTS, x, _instances(4), request_id=0, assignment=assignment
+        )
+    )
+    pairs = attention_pairs_per_instance(assignment)
+    ratio = max(pairs) / (sum(pairs) / len(pairs))
+    benchmark.extra_info["bottleneck_over_mean"] = round(ratio, 3)
+    benchmark.extra_info["note"] = "striped keeps this ratio ~1.0 (its advantage)"
+    assert ratio > 1.5  # the imbalance striping removes

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Elastic sequence parallelism, executed for real (numpy).
+
+Walks the paper's §4 mechanisms on the functional engine and verifies
+each against a serial reference transformer:
+
+1. striped-attention sequence-parallel prefill across 4 instances,
+2. proactive scale-down 4 -> 2 during that prefill (zero extra sends),
+3. single-master distributed decoding on the scaled-down group,
+4. elastic scale-up mid-generation (no KV migration),
+5. multi-master decoding of a two-request batch.
+
+Run:  python examples/esp_mechanisms.py
+"""
+
+import numpy as np
+
+from repro.engine import (
+    DistributedDecoder,
+    FunctionalInstance,
+    ReferenceTransformer,
+    TransformerWeights,
+    striped_prefill,
+)
+from repro.engine.reference import next_token_embedding
+
+
+def check(label: str, got: np.ndarray, want: np.ndarray) -> None:
+    error = float(np.abs(got - want).max())
+    status = "ok" if error < 1e-9 else "MISMATCH"
+    print(f"  [{status}] {label}: max |err| = {error:.2e}")
+
+
+def main() -> None:
+    weights = TransformerWeights.random(
+        hidden_size=64, num_heads=8, num_kv_heads=4, num_layers=3, seed=11
+    )
+    reference = ReferenceTransformer(weights)
+    rng = np.random.default_rng(0)
+    prompt = rng.standard_normal((24, weights.hidden_size))
+
+    print("1) striped-attention SP prefill, DoP=4")
+    instances = [
+        FunctionalInstance(i, weights.num_layers, weights.num_kv_heads, weights.head_dim)
+        for i in range(4)
+    ]
+    expected_hidden, expected_cache = reference.prefill(prompt)
+
+    print("2) ... with proactive scale-down 4 -> 2 fused into the prefill")
+    retention = {0: np.arange(0, 10), 1: np.arange(10, 24)}
+    run = striped_prefill(
+        weights, prompt, instances, request_id=0, retention_plan=retention
+    )
+    check("prefill output vs reference", run.hidden, expected_hidden)
+    print(f"  retained KV placement: {run.retained} (instances 2,3 hold nothing)")
+    print(f"  ring sends: {run.ring_sends} — identical to a prefill with no "
+          "scale-down (zero-overhead migration)")
+
+    print("3) decoding on the scaled-down group (DoP=2, single master)")
+    group = [instances[0], instances[1]]
+    decoder = DistributedDecoder(weights=weights, instances=group)
+    outputs = [run.last_hidden]
+    ref_outputs = [expected_hidden[-1]]
+    for _ in range(4):
+        result = decoder.decode_step(
+            {0: next_token_embedding(outputs[-1])}, masters={0: 0}
+        )
+        outputs.append(result.hidden[0])
+        ref_outputs.append(
+            reference.decode_step(next_token_embedding(ref_outputs[-1]), expected_cache)
+        )
+    check("4 decode steps vs reference", np.stack(outputs), np.stack(ref_outputs))
+
+    print("4) elastic scale-up mid-generation: a third instance joins")
+    newcomer = FunctionalInstance(
+        9, weights.num_layers, weights.num_kv_heads, weights.head_dim
+    )
+    decoder.scale_up([newcomer])
+    for _ in range(3):
+        x_t = next_token_embedding(outputs[-1])
+        result = decoder.decode_step({0: x_t}, masters={0: 9})
+        outputs.append(result.hidden[0])
+        ref_outputs.append(
+            reference.decode_step(next_token_embedding(ref_outputs[-1]), expected_cache)
+        )
+    check("3 more steps after scale-up", np.stack(outputs), np.stack(ref_outputs))
+    print(f"  KV placement now: {decoder.placement_of(0)} — old shards never moved")
+
+    print("5) multi-master decoding of a 2-request batch")
+    insts = [
+        FunctionalInstance(i, weights.num_layers, weights.num_kv_heads, weights.head_dim)
+        for i in range(2)
+    ]
+    xa = rng.standard_normal((9, weights.hidden_size))
+    xb = rng.standard_normal((13, weights.hidden_size))
+    ra, ca = reference.prefill(xa)
+    rb, cb = reference.prefill(xb)
+    run_a = striped_prefill(weights, xa, insts, request_id=1)
+    run_b = striped_prefill(weights, xb, insts, request_id=2)
+    batch_decoder = DistributedDecoder(weights=weights, instances=insts)
+    result = batch_decoder.decode_step(
+        {
+            1: next_token_embedding(run_a.last_hidden),
+            2: next_token_embedding(run_b.last_hidden),
+        },
+        masters={1: 0, 2: 1},  # two masters, one per request
+    )
+    check(
+        "request A (master=0)",
+        result.hidden[1],
+        reference.decode_step(next_token_embedding(ra[-1]), ca),
+    )
+    check(
+        "request B (master=1)",
+        result.hidden[2],
+        reference.decode_step(next_token_embedding(rb[-1]), cb),
+    )
+    print(f"  query messages exchanged: {result.query_messages}; "
+          f"KV tokens migrated: {result.kv_migrated_tokens}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: serve a ShareGPT-like trace with LoongServe and read the
+paper's three metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LoongServeServer,
+    SHAREGPT,
+    default_config,
+    make_trace,
+    summarize_latency,
+)
+
+
+def main() -> None:
+    # The paper's testbed: one node, 8x A800-80GB, LWM-1M-Text (7B),
+    # tensor parallelism 2 => four elastic instances, ESP degree up to 4.
+    config = default_config(num_gpus=8, tensor_parallel=2)
+    print(f"elastic instances: {config.num_instances}")
+    print(f"KV slots per instance: {config.kv_slots_per_instance:,} tokens")
+
+    server = LoongServeServer(config)
+
+    # A Poisson trace of chat-style requests (4-2.3K input tokens).
+    trace = make_trace(SHAREGPT, rate=10.0, num_requests=200, seed=42)
+    result = server.run(trace)
+
+    summary = summarize_latency(result)
+    print(f"\nserved {summary.finished}/{summary.total} requests "
+          f"in {result.makespan:.1f} simulated seconds")
+    print(f"normalized per-token latency: {summary.per_token * 1000:.2f} ms/token")
+    print(f"normalized input latency:     {summary.input_token * 1000:.2f} ms/token")
+    print(f"normalized output latency:    {summary.output_token * 1000:.2f} ms/token")
+
+    ups = sum(1 for e in result.scaling_events if e.kind == "scale_up")
+    downs = sum(1 for e in result.scaling_events if e.kind == "scale_down")
+    print(f"elastic scaling actions: {ups} scale-ups, {downs} scale-downs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Anatomy of the four-step global scheduler (§5) on a crafted scenario.
+
+Builds the global manager directly, feeds it a hand-made system state —
+one decode batch camping on two instances, a queue mixing a 180K-token
+book prompt with a burst of chat prompts — and prints what each step
+decides: which requests dispatch, which instances are allocated (and
+what migrates), how the batching DP splits request and instance
+intervals, and where the proactive scale-down will leave every KV token.
+
+Run:  python examples/scheduling_anatomy.py
+"""
+
+from repro import Request, default_config
+from repro.core.batch import DecodeBatch, next_batch_id
+from repro.core.elastic_instance import ElasticInstance, InstanceRole
+from repro.core.global_manager import GlobalManager
+from repro.costmodel.latency import RooflineCostModel
+from repro.kvcache.unified import UnifiedKVPool
+from repro.parallel.groups import ParallelGroup
+from repro.types import next_request_id
+
+
+def request(input_len: int, output_len: int = 50) -> Request:
+    return Request(
+        request_id=next_request_id(), input_len=input_len, output_len=output_len
+    )
+
+
+def main() -> None:
+    config = default_config()
+    cost_model = RooflineCostModel(cluster=config.cluster, model=config.model)
+    manager = GlobalManager(config, cost_model)
+    print("fitted analytical model (Eq. 7) per strategy:")
+    for strategy in manager.predictor.strategies:
+        c = manager.predictor.coefficients(strategy)
+        print(f"  {strategy.label}: alpha={c.alpha:.4f}s "
+              f"beta={c.beta:.3e} gamma={c.gamma:.3e}")
+
+    # System state: instances 0,1 host a decode batch; 2,3 idle.
+    pool = UnifiedKVPool.create(config.num_instances, config.kv_slots_per_instance)
+    instances = {
+        i: ElasticInstance(instance_id=i, pool=pool.pools[i])
+        for i in range(config.num_instances)
+    }
+    batch = DecodeBatch(batch_id=next_batch_id())
+    batch.group = ParallelGroup(instance_ids=(0, 1), tensor_parallel=2)
+    for _ in range(6):
+        resident = request(input_len=4_000, output_len=200)
+        resident.generated = 40
+        resident.prefill_end = 0.0
+        batch.requests.append(resident)
+        pool.place(resident.request_id, {0: resident.current_len // 2,
+                                         1: resident.current_len - resident.current_len // 2})
+    for i in (0, 1):
+        instances[i].assign(InstanceRole.DECODE, batch.batch_id)
+
+    pending = [request(180_000)] + [request(900) for _ in range(5)]
+    print(f"\npending queue: 1 x 180K-token prompt + 5 x 900-token prompts")
+    print(f"decode batch on instances (0, 1): {batch.batch_size} requests, "
+          f"{batch.total_context:,} KV tokens resident")
+
+    plan = manager.schedule(
+        now=10.0,
+        pending=pending,
+        instances=instances,
+        pool=pool,
+        decode_batches=[batch],
+        avg_decode_latency=2.0,
+    )
+
+    print(f"\nscheduler output: {len(plan.prefills)} prefill batch(es)")
+    for planned in plan.prefills:
+        task = planned.task
+        lens = sorted((r.input_len for r in task.requests), reverse=True)
+        print(f"  batch {task.batch_id}: {len(task.requests)} requests "
+              f"{lens} -> DoP {task.dop} on instances {task.group.instance_ids}")
+        kept = planned.scale_down.kept_instances
+        print(f"    proactive scale-down keeps instances {kept}; placements:")
+        for rid, placement in sorted(planned.scale_down.per_request.items()):
+            print(f"      request {rid}: {placement}")
+        if planned.start_delay:
+            print(f"    start delayed {planned.start_delay * 1000:.1f} ms by KV migration")
+    if plan.decode_scale_downs:
+        for shrunk_batch, instance in plan.decode_scale_downs:
+            print(f"  decode batch {shrunk_batch.batch_id} released instance "
+                  f"{instance} (KV migrated to peers)")
+    for scaled, decision in plan.scale_ups:
+        print(f"  decode batch {scaled.batch_id} scales up by "
+              f"{decision.add_instances} ({decision.reason})")
+    if plan.coopted_batches:
+        print(f"  co-opted decode batches: "
+              f"{[b.batch_id for b in plan.coopted_batches]}")
+
+
+if __name__ == "__main__":
+    main()

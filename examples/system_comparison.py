@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare LoongServe against every baseline on the Mixed workload.
+
+Reproduces the qualitative Figure 10 story at example scale: on a
+workload mixing chat-length and book-length prompts, static parallelism
+either wastes GPUs on short requests (vLLM TP=8), lets long prefills
+starve decoding (vLLM, static hybrid), chunks prefills into inefficiency
+(SplitFuse), or walls off half the cluster (DistServe).
+
+Run:  python examples/system_comparison.py
+"""
+
+from repro import clone_requests, make_trace, summarize_latency
+from repro.experiments.systems import make_system
+from repro.workloads.datasets import MIXED
+
+SYSTEMS = [
+    "loongserve",
+    "vllm",
+    "splitfuse",
+    "distserve",
+    "static-sp",
+    "replicated-tp2",
+]
+
+
+def main() -> None:
+    trace = make_trace(MIXED, rate=0.6, num_requests=80, seed=7)
+    total_tokens = sum(r.input_len + r.output_len for r in trace)
+    print(f"workload: {len(trace)} Mixed requests, {total_tokens:,} tokens, "
+          "0.6 req/s Poisson\n")
+    header = (
+        f"{'system':34s} {'tok (ms/t)':>11s} {'input':>9s} {'output':>9s} "
+        f"{'finished':>9s} {'aborted':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SYSTEMS:
+        system = make_system(name, requests=trace)
+        result = system.run(clone_requests(trace))
+        summary = summarize_latency(result)
+        label = getattr(system, "name", name)
+        print(
+            f"{label:34s} {summary.per_token * 1000:11.2f} "
+            f"{summary.input_token * 1000:9.2f} {summary.output_token * 1000:9.2f} "
+            f"{summary.finished:>6d}/{summary.total:<3d} {len(result.aborted):8d}"
+        )
+    print(
+        "\nLoongServe should lead per-token latency: prefills run at high DoP\n"
+        "on instances the decode phase is not using, decode batches scale\n"
+        "down to the fewest instances their KV fits, and the unified pool\n"
+        "never fragments a long request across replica boundaries."
+    )
+
+
+if __name__ == "__main__":
+    main()

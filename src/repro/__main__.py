@@ -1,0 +1,109 @@
+"""Serve a workload from the command line.
+
+    python -m repro serve --system loongserve --dataset sharegpt \
+        --rate 10 --num-requests 200
+    python -m repro serve --system vllm --trace my_trace.jsonl --timeline
+    python -m repro gen-trace --dataset mixed --rate 0.5 -n 100 -o trace.jsonl
+
+(`python -m repro.experiments <figureN>` regenerates paper figures.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.systems import make_system
+from repro.metrics.latency import summarize_latency
+from repro.metrics.summary import throughput_tokens_per_s
+from repro.viz.timeline import occupancy_timeline, utilization_summary
+from repro.workloads.datasets import DATASETS
+from repro.workloads.serialization import load_trace, save_trace
+from repro.workloads.trace_gen import clone_requests, make_trace
+
+SYSTEM_CHOICES = [
+    "loongserve", "loongserve-no-scaleup", "vllm", "splitfuse",
+    "deepspeed-mii", "distserve", "static-sp", "replicated-tp2",
+]
+
+
+def _build_trace(args: argparse.Namespace):
+    if args.trace:
+        return load_trace(args.trace)
+    dataset = DATASETS[args.dataset]
+    return make_trace(
+        dataset, rate=args.rate, num_requests=args.num_requests, seed=args.seed
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    trace = _build_trace(args)
+    system = make_system(args.system, requests=trace, num_gpus=args.num_gpus)
+    result = system.run(clone_requests(trace))
+    summary = summarize_latency(result)
+
+    label = getattr(system, "name", args.system)
+    print(f"system:   {label}")
+    print(f"requests: {summary.finished}/{summary.total} finished, "
+          f"{len(result.aborted)} aborted")
+    print(f"makespan: {result.makespan:.1f}s simulated")
+    print(f"throughput: {throughput_tokens_per_s(result):,.0f} tokens/s")
+    print(f"normalized latency  per-token: {summary.per_token * 1000:8.2f} ms")
+    print(f"                    input:     {summary.input_token * 1000:8.2f} ms")
+    print(f"                    output:    {summary.output_token * 1000:8.2f} ms")
+    if result.scaling_events:
+        ups = sum(1 for e in result.scaling_events if e.kind == "scale_up")
+        downs = len(result.scaling_events) - ups
+        print(f"elastic scaling: {ups} scale-ups, {downs} scale-downs")
+    if args.timeline:
+        num_instances = getattr(
+            getattr(system, "config", None), "num_instances", args.num_gpus // 2
+        )
+        print("\n" + occupancy_timeline(result, num_instances))
+        util = utilization_summary(result, num_instances)
+        print(f"\nutilization: prefill {util['prefill']:.0%}, "
+              f"decode {util['decode']:.0%}, idle {util['idle']:.0%}")
+    return 0
+
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    dataset = DATASETS[args.dataset]
+    trace = make_trace(
+        dataset, rate=args.rate, num_requests=args.num_requests, seed=args.seed
+    )
+    save_trace(trace, args.output)
+    tokens = sum(r.input_len + r.output_len for r in trace)
+    print(f"wrote {len(trace)} requests ({tokens:,} tokens) to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="replay a workload on a serving system")
+    serve.add_argument("--system", choices=SYSTEM_CHOICES, default="loongserve")
+    serve.add_argument("--dataset", choices=sorted(DATASETS), default="sharegpt")
+    serve.add_argument("--rate", type=float, default=10.0)
+    serve.add_argument("--num-requests", "-n", type=int, default=100)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--num-gpus", type=int, default=8)
+    serve.add_argument("--trace", help="replay a jsonl trace instead of generating")
+    serve.add_argument("--timeline", action="store_true",
+                       help="render the instance-occupancy Gantt strip")
+    serve.set_defaults(func=cmd_serve)
+
+    gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")
+    gen.add_argument("--dataset", choices=sorted(DATASETS), default="sharegpt")
+    gen.add_argument("--rate", type=float, default=10.0)
+    gen.add_argument("--num-requests", "-n", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", "-o", required=True)
+    gen.set_defaults(func=cmd_gen_trace)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

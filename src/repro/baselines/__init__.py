@@ -1,0 +1,39 @@
+"""Baseline serving systems (§7.1) on the shared simulated substrate.
+
+Every baseline re-implements the *scheduling policy* of the system the
+paper compares against, over the same cluster, cost model, and KV
+accounting as LoongServe — so performance differences come from policy,
+not substrate:
+
+* ``VLLMServer`` — vLLM 0.3.0: static TP, continuous batching with
+  prefill priority, preemption by recomputation.
+* ``SplitFuseServer`` — DeepSpeed-MII Dynamic SplitFuse / LightLLM
+  SplitFuse: chunked prefill fused with decode iterations.
+* ``DistServeServer`` — prefill-decoding disaggregation with reactive KV
+  migration between the two GPU groups.
+* ``StaticSPServer`` — LoongServe w/o ESP (fixed TP x SP hybrid).
+* ``ReplicatedServer`` — N independent engines behind a dispatcher
+  (LoongServe w/o ESP (TP=2) x 4, and the per-node multi-node baselines).
+* ``build_no_scale_up_loongserve`` — the Figure 13 ablation.
+"""
+
+from repro.baselines.base import EngineServer, EnginePolicy
+from repro.baselines.distserve import DistServeServer
+from repro.baselines.no_scaleup import build_loongserve, build_no_scale_up_loongserve
+from repro.baselines.replicated import ReplicatedServer
+from repro.baselines.splitfuse import SplitFuseServer, ideal_chunk_size
+from repro.baselines.static_sp import StaticSPServer
+from repro.baselines.vllm import VLLMServer
+
+__all__ = [
+    "DistServeServer",
+    "EnginePolicy",
+    "EngineServer",
+    "ReplicatedServer",
+    "SplitFuseServer",
+    "StaticSPServer",
+    "VLLMServer",
+    "build_loongserve",
+    "build_no_scale_up_loongserve",
+    "ideal_chunk_size",
+]

@@ -1,0 +1,296 @@
+"""Shared single-engine serving loop for the baseline systems.
+
+An *engine* is one statically-parallelised model replica: a fixed set of
+elastic-instance slots (e.g. one TP=8 instance for vLLM, four TP=2
+instances for the static hybrid) with one KV pool and one scheduler
+queue.  ``EngineServer`` provides continuous batching with
+preemption-by-recomputation; an :class:`EnginePolicy` decides what each
+iteration executes, which is the only place the baselines differ.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import SystemConfig
+from repro.costmodel.latency import RooflineCostModel
+from repro.kvcache.pool import InstancePool
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.types import (
+    BatchStats,
+    Phase,
+    Request,
+    RequestState,
+    ServeResult,
+)
+
+
+@dataclass
+class IterationPlan:
+    """What one engine iteration executes.
+
+    ``prefill_chunks`` maps request -> new tokens processed this iteration
+    (the whole input for whole-prefill policies; a chunk for SplitFuse).
+    ``decode_requests`` advance by one token each.
+    """
+
+    prefill_chunks: list[tuple[Request, int]] = field(default_factory=list)
+    decode_requests: list[Request] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.prefill_chunks and not self.decode_requests
+
+    @property
+    def phase(self) -> Phase:
+        return Phase.PREFILL if self.prefill_chunks else Phase.DECODE
+
+
+class EnginePolicy(abc.ABC):
+    """Chooses the next iteration's contents."""
+
+    @abc.abstractmethod
+    def next_iteration(self, engine: EngineServer) -> IterationPlan:
+        """Build the next iteration from the engine's queues."""
+
+
+class EngineServer:
+    """One statically-parallelised engine with continuous batching."""
+
+    name = "engine"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: EnginePolicy,
+        cost_model: RooflineCostModel | None = None,
+        instance_ids: list[int] | None = None,
+        kv_slots: int | None = None,
+        num_masters: int = 1,
+        max_num_seqs: int = 256,
+        name: str | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.max_num_seqs = max_num_seqs
+        self.cost_model = cost_model or RooflineCostModel(
+            cluster=config.cluster, model=config.model
+        )
+        self.instance_ids = instance_ids if instance_ids is not None else list(
+            range(config.num_instances)
+        )
+        self.kv_slots = kv_slots if kv_slots is not None else (
+            config.kv_slots_per_instance * len(self.instance_ids)
+        )
+        self.num_masters = num_masters
+        if name:
+            self.name = name
+        self.trace = trace or TraceRecorder(enabled=False)
+        # Called when a request finishes its prefill but still has tokens
+        # to decode; returning True removes it from this engine (used by
+        # DistServe's prefill->decode handoff).
+        self.prefill_complete_hook: Callable[[Request], bool] | None = None
+        self._reset()
+
+    def _reset(self) -> None:
+        self.sim = Simulator()
+        self.pool = InstancePool(instance_id=-1, capacity=self.kv_slots)
+        self.waiting: list[Request] = []
+        self.running: list[Request] = []
+        self.prefilling: list[Request] = []  # mid-prefill (chunked policies)
+        self.prefill_progress: dict[int, int] = {}
+        self.finished: list[Request] = []
+        self.aborted: list[Request] = []
+        self.iteration_stats: list[BatchStats] = []
+        self.busy = False
+        self._all_requests: list[Request] = []
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> ServeResult:
+        self._reset()
+        self._all_requests = list(requests)
+        for request in requests:
+            self.sim.call_at(
+                request.arrival_time,
+                self._make_arrival(request),
+                label=f"arrival:{request.request_id}",
+            )
+        self.sim.run_until_idle()
+        return ServeResult(
+            system=self.name,
+            requests=[r for r in self._all_requests if r not in self.aborted],
+            iteration_stats=self.iteration_stats,
+            makespan=self.sim.now,
+            aborted=self.aborted,
+        )
+
+    def use_simulator(self, sim: Simulator) -> None:
+        """Share a simulator with other engines (multi-engine systems)."""
+        self.sim = sim
+
+    def inject_running(self, request: Request, preallocated: bool = False) -> None:
+        """Admit an already-prefilled request straight into decoding.
+
+        DistServe's decode engine receives requests whose KV has just
+        migrated in; ``preallocated`` skips the slot allocation when the
+        caller reserved capacity before starting the migration.
+        """
+        if not preallocated:
+            self.pool.allocate(request.request_id, request.current_len)
+        request.state = RequestState.DECODING
+        self.running.append(request)
+        self._maybe_start()
+
+    # -- queue management ------------------------------------------------------------
+
+    def submit(self, request: Request, now: float | None = None) -> None:
+        """External enqueue (used by dispatchers and DistServe's handoff)."""
+        if request.max_total_len + 1 > self.kv_slots:
+            request.state = RequestState.FINISHED
+            self.aborted.append(request)
+            self.trace.record(
+                self.sim.now, "abort", request=request.request_id, engine=self.name
+            )
+            return
+        self.waiting.append(request)
+        self.waiting.sort(key=lambda r: r.arrival_time)
+        self._maybe_start()
+
+    def _make_arrival(self, request: Request):
+        def _on_arrival() -> None:
+            self.submit(request)
+
+        return _on_arrival
+
+    def admissible(self) -> list[Request]:
+        """Waiting requests that fit free KV right now, FCFS prefix."""
+        admitted: list[Request] = []
+        free = self.pool.free
+        watermark = int(self.kv_slots * self.config.scheduler.watermark_fraction)
+        budget = self.max_num_seqs - len(self.running) - len(self.prefilling)
+        for request in self.waiting:
+            if len(admitted) >= budget:
+                break
+            needed = request.current_len + 1
+            if needed + watermark > free:
+                break
+            admitted.append(request)
+            free -= needed
+        return admitted
+
+    # -- the iteration loop ------------------------------------------------------------
+
+    def _maybe_start(self) -> None:
+        if self.busy:
+            return
+        plan = self.policy.next_iteration(self)
+        if plan.is_empty:
+            return
+        self._execute(plan)
+
+    def _execute(self, plan: IterationPlan) -> None:
+        now = self.sim.now
+        chunks: list[tuple[int, int]] = []
+        for request, tokens in plan.prefill_chunks:
+            progress = self.prefill_progress.get(request.request_id, 0)
+            if progress == 0:
+                if request in self.waiting:
+                    self.waiting.remove(request)
+                self.prefilling.append(request)
+                request.state = RequestState.PREFILLING
+                if request.prefill_start is None:
+                    request.prefill_start = now
+            self.pool.allocate(request.request_id, tokens)
+            chunks.append((tokens, progress))
+        decode_contexts = [r.current_len for r in plan.decode_requests]
+        for request in plan.decode_requests:
+            self.pool.allocate(request.request_id, 1)
+
+        duration = self.cost_model.fused_iteration_time(
+            chunks,
+            decode_contexts,
+            self.instance_ids,
+            self.config.tensor_parallel,
+            num_masters=self.num_masters,
+        )
+        duration += self.config.scheduler.scheduling_overhead_s
+        total_tokens = sum(t for t, _ in chunks) + len(decode_contexts)
+        self.iteration_stats.append(
+            BatchStats(
+                iteration=len(self.iteration_stats),
+                phase=plan.phase,
+                batch_size=len(plan.prefill_chunks) + len(plan.decode_requests),
+                total_tokens=total_tokens,
+                dop=len(self.instance_ids),
+                duration=duration,
+                start_time=now,
+            )
+        )
+        self.busy = True
+        self.sim.call_after(duration, lambda: self._on_iteration_done(plan))
+
+    def _on_iteration_done(self, plan: IterationPlan) -> None:
+        now = self.sim.now
+        for request, tokens in plan.prefill_chunks:
+            progress = self.prefill_progress.get(request.request_id, 0) + tokens
+            if progress >= request.current_len:
+                # Prefill complete: first output token emitted.
+                self.prefill_progress.pop(request.request_id, None)
+                if request in self.prefilling:
+                    self.prefilling.remove(request)
+                self.pool.allocate(request.request_id, 1)
+                request.generated += 1
+                request.prefill_end = now
+                request.record_first_token(now)
+                if request.generated >= request.output_len:
+                    self._finish(request)
+                elif self.prefill_complete_hook is not None and self.prefill_complete_hook(
+                    request
+                ):
+                    pass  # handed off to another engine
+                else:
+                    request.state = RequestState.DECODING
+                    self.running.append(request)
+            else:
+                self.prefill_progress[request.request_id] = progress
+        for request in plan.decode_requests:
+            request.generated += 1
+            if request.generated >= request.output_len:
+                self._finish(request)
+        self.running = [r for r in self.running if not r.finished]
+        self.busy = False
+        self._maybe_start()
+
+    def _finish(self, request: Request) -> None:
+        request.state = RequestState.FINISHED
+        request.finish_time = self.sim.now
+        self.pool.release(request.request_id)
+        if request in self.running:
+            self.running.remove(request)
+        self.finished.append(request)
+
+    # -- memory pressure ------------------------------------------------------------------
+
+    def free_slots_for_decode(self) -> bool:
+        """Ensure a decode iteration can append; preempt youngest if not."""
+        while self.running and self.pool.free < len(self.running):
+            victim = max(self.running, key=lambda r: r.arrival_time)
+            self._preempt(victim)
+        return bool(self.running)
+
+    def _preempt(self, request: Request) -> None:
+        self.pool.release(request.request_id)
+        self.running.remove(request)
+        self.prefill_progress.pop(request.request_id, None)
+        if request in self.prefilling:
+            self.prefilling.remove(request)
+        request.state = RequestState.PREEMPTED
+        request.preemptions += 1
+        self.waiting.append(request)
+        self.waiting.sort(key=lambda r: r.arrival_time)
+        self.trace.record(self.sim.now, "preempt", request=request.request_id)

@@ -1,0 +1,52 @@
+"""LoongServe variants for the ablation studies.
+
+``build_loongserve`` constructs the paper's default LoongServe (TP=2,
+ESP up to num_gpus/2); ``build_no_scale_up_loongserve`` disables elastic
+scale-up only, which is the Figure 13 ablation — batches stay at their
+post-prefill DoP forever, so growing decode batches hit memory/compute
+walls on ShareGPT-like workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import SchedulerConfig, SystemConfig, default_config
+from repro.core.server import LoongServeServer
+from repro.costmodel.latency import RooflineCostModel
+
+
+def build_loongserve(
+    num_gpus: int = 8,
+    tensor_parallel: int = 2,
+    gpus_per_node: int = 8,
+    scheduler: SchedulerConfig | None = None,
+    config: SystemConfig | None = None,
+) -> LoongServeServer:
+    """The paper's LoongServe configuration (§7.1)."""
+    if config is None:
+        config = default_config(
+            num_gpus=num_gpus,
+            tensor_parallel=tensor_parallel,
+            gpus_per_node=gpus_per_node,
+            scheduler=scheduler,
+        )
+    return LoongServeServer(config)
+
+
+def build_no_scale_up_loongserve(
+    num_gpus: int = 8,
+    tensor_parallel: int = 2,
+    gpus_per_node: int = 8,
+) -> LoongServeServer:
+    """LoongServe with elastic scale-up disabled (Figure 13 ablation)."""
+    scheduler = SchedulerConfig(enable_scale_up=False)
+    config = default_config(
+        num_gpus=num_gpus,
+        tensor_parallel=tensor_parallel,
+        gpus_per_node=gpus_per_node,
+        scheduler=scheduler,
+    )
+    server = LoongServeServer(config)
+    server.name = "LoongServe w/o Elastic Scale-up"
+    return server

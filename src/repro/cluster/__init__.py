@@ -1,0 +1,23 @@
+"""Simulated GPU cluster substrate.
+
+The paper's testbed is one or two nodes of eight NVIDIA A800 80GB GPUs,
+NVLink at 400 GB/s between GPUs inside a node, and four 200 Gbps InfiniBand
+NICs between nodes (§7.1).  This package models exactly those capacities so
+the cost model and scheduler operate on the published hardware envelope.
+"""
+
+from repro.cluster.cluster import Cluster, Node
+from repro.cluster.gpu import A100_80GB, A800_80GB, H100_80GB, GPUSpec
+from repro.cluster.topology import Interconnect, LinkKind, Topology
+
+__all__ = [
+    "A100_80GB",
+    "A800_80GB",
+    "H100_80GB",
+    "Cluster",
+    "GPUSpec",
+    "Interconnect",
+    "LinkKind",
+    "Node",
+    "Topology",
+]

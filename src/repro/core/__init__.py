@@ -1,0 +1,18 @@
+"""LoongServe core: elastic instances, the SIB, the four-step global
+scheduling algorithm (§5), and the serving loop that ties them together."""
+
+from repro.core.batch import DecodeBatch, PrefillTask
+from repro.core.elastic_instance import ElasticInstance, InstanceRole
+from repro.core.global_manager import GlobalManager
+from repro.core.server import LoongServeServer
+from repro.core.sib import ScalingInformationBase
+
+__all__ = [
+    "DecodeBatch",
+    "ElasticInstance",
+    "GlobalManager",
+    "InstanceRole",
+    "LoongServeServer",
+    "PrefillTask",
+    "ScalingInformationBase",
+]

@@ -1,0 +1,102 @@
+"""Batch abstractions the global manager schedules.
+
+``PrefillTask`` — one prefill iteration: a set of requests executed on a
+parallel group, carrying the proactive scale-down placement that takes
+effect when the iteration completes (§4.1).
+
+``DecodeBatch`` — a long-lived decoding batch bound to a parallel group;
+it runs one iteration per output token and is the unit of elastic
+scale-up (§4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.parallel.esp import ScaleDownPlan
+from repro.parallel.groups import ParallelGroup
+from repro.types import Request
+
+_batch_ids = itertools.count()
+
+
+def next_batch_id() -> int:
+    return next(_batch_ids)
+
+
+@dataclass
+class PrefillTask:
+    """One scheduled prefill iteration."""
+
+    batch_id: int
+    requests: list[Request]
+    group: ParallelGroup
+    scale_down: ScaleDownPlan | None = None
+    started_at: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.input_len for r in self.requests)
+
+    @property
+    def dop(self) -> int:
+        return self.group.dop
+
+
+@dataclass
+class DecodeBatch:
+    """A decoding batch bound to an ESP parallel group."""
+
+    batch_id: int
+    requests: list[Request] = field(default_factory=list)
+    group: ParallelGroup | None = None
+    iteration: int = 0
+    running: bool = False
+    exec_started_at: float = 0.0
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def context_lens(self) -> list[int]:
+        return [r.current_len for r in self.requests]
+
+    @property
+    def total_context(self) -> int:
+        return sum(r.current_len for r in self.requests)
+
+    @property
+    def instance_ids(self) -> tuple[int, ...]:
+        return self.group.instance_ids if self.group else ()
+
+    def min_exec_time(self, now: float) -> float:
+        """Shortest elapsed decode time among member requests.
+
+        ``min(B.exec_time)`` in the dispatch gain estimate (Eq. 2): how
+        long the youngest request has been decoding.
+        """
+        times = [now - r.prefill_end for r in self.requests if r.prefill_end is not None]
+        return min(times, default=0.0)
+
+    def tokens_per_iteration(self) -> int:
+        """New KV slots consumed by one decode iteration."""
+        return self.batch_size
+
+    def admit(self, requests: list[Request]) -> None:
+        existing = {r.request_id for r in self.requests}
+        for request in requests:
+            if request.request_id in existing:
+                raise ValueError(f"request {request.request_id} already in batch")
+            self.requests.append(request)
+
+    def remove_finished(self) -> list[Request]:
+        """Drop finished requests; return them."""
+        done = [r for r in self.requests if r.finished]
+        self.requests = [r for r in self.requests if not r.finished]
+        return done
+
+    def remove(self, request: Request) -> None:
+        self.requests = [r for r in self.requests if r.request_id != request.request_id]

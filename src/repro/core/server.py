@@ -1,0 +1,532 @@
+"""The LoongServe serving loop on the discrete-event simulator.
+
+``LoongServeServer.run`` replays a workload trace: arrivals enqueue
+requests, the global manager re-plans on every arrival and iteration
+completion, prefill tasks and decode iterations advance the virtual
+clock by their roofline durations, and the unified KV pool tracks every
+token.  The server enacts the manager's plans — it owns no policy of its
+own beyond decode preemption-by-recomputation when a batch truly runs
+out of memory (the same last-resort rule vLLM uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.batch import DecodeBatch, next_batch_id
+from repro.core.elastic_instance import ElasticInstance, InstanceRole
+from repro.core.global_manager import GlobalManager, PlannedPrefill, SchedulePlan
+from repro.core.scaling_plan import assign_masters, pick_append_instance
+from repro.costmodel.latency import RooflineCostModel
+from repro.kvcache.unified import UnifiedKVPool
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.types import (
+    BatchStats,
+    Phase,
+    Request,
+    RequestState,
+    ScalingEvent,
+    ServeResult,
+)
+
+_TICK_PRIORITY = 5  # ticks run after same-timestamp completions
+
+
+class LoongServeServer:
+    """LoongServe: ESP scheduling over elastic instances."""
+
+    name = "LoongServe"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cost_model: RooflineCostModel | None = None,
+        manager: GlobalManager | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.config = config
+        self.cost_model = cost_model or RooflineCostModel(
+            cluster=config.cluster, model=config.model
+        )
+        self.manager = manager or GlobalManager(config, self.cost_model)
+        self.trace = trace or TraceRecorder(enabled=False)
+        self._reset()
+
+    def _reset(self) -> None:
+        config = self.config
+        self.sim = Simulator()
+        self.pool = UnifiedKVPool.create(
+            num_instances=config.num_instances,
+            slots_per_instance=config.kv_slots_per_instance,
+        )
+        self.instances: dict[int, ElasticInstance] = {
+            i: ElasticInstance(instance_id=i, pool=self.pool.pools[i])
+            for i in range(config.num_instances)
+        }
+        self.pending: list[Request] = []
+        self.decode_batches: list[DecodeBatch] = []
+        self.finished: list[Request] = []
+        self.aborted: list[Request] = []
+        self.scaling_events: list[ScalingEvent] = []
+        self.iteration_stats: list[BatchStats] = []
+        self._decode_latency_sum = 0.0
+        self._decode_latency_count = 0
+        self._tick_pending = False
+        self._all_requests: list[Request] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, requests: list[Request]) -> ServeResult:
+        """Serve a trace to completion and return per-request outcomes."""
+        self._reset()
+        self._all_requests = list(requests)
+        for request in requests:
+            self.sim.call_at(
+                request.arrival_time,
+                self._make_arrival(request),
+                label=f"arrival:{request.request_id}",
+            )
+        self.sim.run_until_idle()
+        return ServeResult(
+            system=self.name,
+            requests=[r for r in self._all_requests if r not in self.aborted],
+            scaling_events=self.scaling_events,
+            iteration_stats=self.iteration_stats,
+            makespan=self.sim.now,
+            aborted=self.aborted,
+        )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _make_arrival(self, request: Request):
+        def _on_arrival() -> None:
+            self.pending.append(request)
+            self.trace.record(self.sim.now, "arrival", request=request.request_id)
+            self._request_tick()
+
+        return _on_arrival
+
+    def _request_tick(self) -> None:
+        if self._tick_pending:
+            return
+        self._tick_pending = True
+        self.sim.call_at(self.sim.now, self._tick, priority=_TICK_PRIORITY, label="tick")
+
+    def _tick(self) -> None:
+        self._tick_pending = False
+        self._drop_impossible_requests()
+        prefilling = [
+            r for r in self._all_requests if r.state == RequestState.PREFILLING
+        ]
+        plan = self.manager.schedule(
+            now=self.sim.now,
+            pending=self.pending,
+            instances=self.instances,
+            pool=self.pool,
+            decode_batches=self.decode_batches,
+            avg_decode_latency=self._avg_decode_latency(),
+            prefilling_requests=prefilling,
+        )
+        self._enact(plan)
+        self._start_decode_iterations()
+
+    def _drop_impossible_requests(self) -> None:
+        """Abort requests that could never fit even on an empty cluster."""
+        capacity = self.pool.total_capacity
+        keep = []
+        for request in self.pending:
+            if request.max_total_len + 1 > capacity:
+                request.state = RequestState.FINISHED  # terminal, but flagged
+                self.aborted.append(request)
+                self.trace.record(
+                    self.sim.now, "abort", request=request.request_id,
+                    needed=request.max_total_len, capacity=capacity,
+                )
+            else:
+                keep.append(request)
+        self.pending = keep
+
+    def _enact(self, plan: SchedulePlan) -> None:
+        for batch, instance_id in plan.decode_scale_downs:
+            self.scaling_events.append(
+                ScalingEvent(
+                    time=self.sim.now,
+                    kind="scale_down",
+                    group_before=batch.instance_ids + (instance_id,),
+                    group_after=batch.instance_ids,
+                    batch_size=batch.batch_size,
+                )
+            )
+            self.instances[instance_id].release()
+            if not batch.instance_ids:
+                self._adopt_orphans(batch)
+        for planned in plan.prefills:
+            self._launch_prefill(planned)
+        for batch, decision in plan.scale_ups:
+            self._apply_scale_up(batch, decision)
+
+    def _adopt_orphans(self, drained: DecodeBatch) -> None:
+        """Re-home requests whose batch lost its last instance.
+
+        Allocation migrated their KV onto other decode instances; each
+        request joins the batch hosting (most of) its KV.
+        """
+        if drained in self.decode_batches:
+            self.decode_batches.remove(drained)
+        for request in list(drained.requests):
+            placement = self.pool.placement_of(request.request_id)
+            if not placement:
+                # KV vanished (should not happen); recompute from scratch.
+                request.state = RequestState.PREEMPTED
+                request.preemptions += 1
+                self.pending.append(request)
+                self.pending.sort(key=lambda r: r.arrival_time)
+                continue
+            home = max(placement, key=placement.get)
+            host = next(
+                (b for b in self.decode_batches if home in b.instance_ids), None
+            )
+            if host is None:
+                host = DecodeBatch(batch_id=next_batch_id())
+                host.group = self._make_group((home,))
+                self.decode_batches.append(host)
+                self.instances[home].assign(InstanceRole.DECODE, host.batch_id)
+            host.admit([request])
+        drained.requests = []
+
+    def _launch_prefill(self, planned: PlannedPrefill) -> None:
+        task = planned.task
+        admitted_ids = {r.request_id for r in task.requests}
+        self.pending = [r for r in self.pending if r.request_id not in admitted_ids]
+
+        for request in task.requests:
+            request.state = RequestState.PREFILLING
+            if request.prefill_start is None:
+                request.prefill_start = self.sim.now
+            self.pool.place(
+                request.request_id, planned.scale_down.per_request[request.request_id]
+            )
+
+        duration = self.cost_model.prefill_time(
+            [r.current_len for r in task.requests],
+            task.group.instance_ids,
+            self.config.tensor_parallel,
+        )
+        duration += self.config.scheduler.scheduling_overhead_s
+        task.started_at = self.sim.now
+        task.duration = duration
+
+        for instance_id in task.group.instance_ids:
+            instance = self.instances[instance_id]
+            instance.assign(InstanceRole.PREFILL, task.batch_id)
+            instance.busy_until = self.sim.now + planned.start_delay + duration
+
+        self.iteration_stats.append(
+            BatchStats(
+                iteration=len(self.iteration_stats),
+                phase=Phase.PREFILL,
+                batch_size=len(task.requests),
+                total_tokens=task.total_tokens,
+                dop=task.dop,
+                duration=duration,
+                start_time=self.sim.now,
+            )
+        )
+        self.trace.record(
+            self.sim.now, "prefill_start",
+            batch=task.batch_id, size=len(task.requests),
+            tokens=task.total_tokens, dop=task.dop, duration=round(duration, 4),
+        )
+        self.sim.call_after(
+            planned.start_delay + duration,
+            lambda: self._on_prefill_done(planned),
+            label=f"prefill_done:{task.batch_id}",
+        )
+
+    def _on_prefill_done(self, planned: PlannedPrefill) -> None:
+        task = planned.task
+        now = self.sim.now
+        survivors: list[Request] = []
+        for request in task.requests:
+            request.generated += 1  # the prefill emits the first output token
+            request.prefill_end = now
+            request.record_first_token(now)
+            if request.generated >= request.output_len:
+                self._finish_request(request)
+            else:
+                request.state = RequestState.DECODING
+                survivors.append(request)
+
+        # Proactive scale-down: released instances go idle, kept ones host
+        # the decode phase; the KV is already in place (allocated at launch
+        # per the retention placement) — zero migration.
+        kept = set(planned.scale_down.kept_instances)
+        for instance_id in task.group.instance_ids:
+            self.instances[instance_id].release()
+        if kept != set(task.group.instance_ids):
+            self.scaling_events.append(
+                ScalingEvent(
+                    time=now,
+                    kind="scale_down",
+                    group_before=task.group.instance_ids,
+                    group_after=tuple(sorted(kept)),
+                    batch_size=len(task.requests),
+                )
+            )
+        self._restore_decode_roles()
+        if survivors:
+            self._join_decode(survivors, sorted(kept))
+        self.trace.record(
+            now, "prefill_done", batch=task.batch_id,
+            kept=sorted(kept), survivors=len(survivors),
+        )
+        self._request_tick()
+
+    def _restore_decode_roles(self) -> None:
+        """Re-assert decode roles for batches whose instances were co-opted."""
+        for batch in self.decode_batches:
+            for instance_id in batch.instance_ids:
+                instance = self.instances[instance_id]
+                if instance.role != InstanceRole.PREFILL:
+                    instance.assign(InstanceRole.DECODE, batch.batch_id)
+
+    def _join_decode(self, requests: list[Request], kept: list[int]) -> None:
+        """Merge prefilled requests into the decode batch on ``kept``."""
+        touching = [
+            b for b in self.decode_batches if set(b.instance_ids) & set(kept)
+        ]
+        if not touching:
+            batch = DecodeBatch(batch_id=next_batch_id())
+            batch.group = self._make_group(tuple(sorted(kept)))
+            self.decode_batches.append(batch)
+        else:
+            batch = touching[0]
+            merged_instances = set(batch.instance_ids) | set(kept)
+            for other in touching[1:]:
+                merged_instances |= set(other.instance_ids)
+                batch.admit(other.requests)
+                self.decode_batches.remove(other)
+            batch.group = self._make_group(tuple(sorted(merged_instances)))
+        batch.admit(requests)
+        for instance_id in batch.instance_ids:
+            if self.instances[instance_id].role != InstanceRole.PREFILL:
+                self.instances[instance_id].assign(InstanceRole.DECODE, batch.batch_id)
+
+    def _make_group(self, instance_ids: tuple[int, ...]):
+        from repro.parallel.groups import ParallelGroup
+
+        return ParallelGroup(
+            instance_ids=instance_ids, tensor_parallel=self.config.tensor_parallel
+        )
+
+    def _apply_scale_up(self, batch: DecodeBatch, decision) -> None:
+        if batch.group is None:
+            return
+        before = batch.group.instance_ids
+        batch.group = batch.group.expanded(decision.add_instances)
+        for instance_id in decision.add_instances:
+            self.instances[instance_id].assign(InstanceRole.DECODE, batch.batch_id)
+        self.scaling_events.append(
+            ScalingEvent(
+                time=self.sim.now,
+                kind="scale_up",
+                group_before=before,
+                group_after=batch.group.instance_ids,
+                batch_size=batch.batch_size,
+            )
+        )
+        self.trace.record(
+            self.sim.now, "scale_up",
+            batch=batch.batch_id, added=list(decision.add_instances),
+            reason=decision.reason,
+        )
+
+    # -- decode execution -------------------------------------------------------
+
+    def _start_decode_iterations(self) -> None:
+        for batch in list(self.decode_batches):
+            if batch.running or batch.group is None:
+                continue
+            if not batch.requests:
+                self._remove_batch(batch)
+                continue
+            if any(
+                self.instances[i].role == InstanceRole.PREFILL
+                for i in batch.instance_ids
+            ):
+                continue  # paused: instances co-opted by a prefill
+            self._run_decode_iteration(batch)
+
+    def _run_decode_iteration(self, batch: DecodeBatch) -> None:
+        masters = self._ensure_decode_memory(batch)
+        if masters is None:
+            return  # batch drained by preemption
+        duration = self.cost_model.decode_time(
+            batch.context_lens,
+            batch.instance_ids,
+            self.config.tensor_parallel,
+            num_masters=len(masters),
+        )
+        batch.running = True
+        batch.iteration += 1
+        if batch.exec_started_at == 0.0:
+            batch.exec_started_at = self.sim.now
+        self.iteration_stats.append(
+            BatchStats(
+                iteration=len(self.iteration_stats),
+                phase=Phase.DECODE,
+                batch_size=batch.batch_size,
+                total_tokens=batch.total_context,
+                dop=batch.group.dop if batch.group else 1,
+                duration=duration,
+                start_time=self.sim.now,
+            )
+        )
+        self.sim.call_after(
+            duration,
+            lambda: self._on_decode_done(batch, masters),
+            label=f"decode_done:{batch.batch_id}",
+        )
+
+    def _ensure_decode_memory(self, batch: DecodeBatch) -> tuple[int, ...] | None:
+        """Pick masters; merge with a sibling batch or preempt if short.
+
+        When the group's own slots run out, spare capacity may live on
+        instances held by *other* decode batches — the unified pool can
+        use it by merging the two batches into one larger group (scale-up
+        across batch boundaries).  Preemption by recomputation is the
+        last resort.
+        """
+        while batch.requests:
+            masters = assign_masters(
+                batch.instance_ids, self.pool, batch.batch_size,
+                self.config.scheduler,
+            )
+            master_free = sum(self.pool.pools[i].free for i in masters)
+            if master_free >= batch.batch_size:
+                return masters
+            if self.config.scheduler.enable_scale_up and self._merge_sibling(batch):
+                continue
+            victim = max(batch.requests, key=lambda r: r.arrival_time)
+            self._preempt_request(victim, batch)
+        self._remove_batch(batch)
+        return None
+
+    def _merge_sibling(self, batch: DecodeBatch) -> bool:
+        """Absorb another idle decode batch whose instances have spare
+        slots; returns True when a merge happened."""
+        candidates = [
+            other
+            for other in self.decode_batches
+            if other is not batch
+            and not other.running
+            and other.group is not None
+            and all(
+                self.instances[i].role != InstanceRole.PREFILL
+                for i in other.instance_ids
+            )
+            and sum(self.pool.pools[i].free for i in other.instance_ids) > 0
+        ]
+        if not candidates:
+            return False
+        donor = max(
+            candidates,
+            key=lambda b: sum(self.pool.pools[i].free for i in b.instance_ids),
+        )
+        merged = tuple(sorted(set(batch.instance_ids) | set(donor.instance_ids)))
+        before = batch.instance_ids
+        batch.admit(donor.requests)
+        donor.requests = []
+        self.decode_batches.remove(donor)
+        batch.group = self._make_group(merged)
+        for instance_id in merged:
+            self.instances[instance_id].assign(InstanceRole.DECODE, batch.batch_id)
+        self.scaling_events.append(
+            ScalingEvent(
+                time=self.sim.now,
+                kind="scale_up",
+                group_before=before,
+                group_after=merged,
+                batch_size=batch.batch_size,
+            )
+        )
+        self.trace.record(
+            self.sim.now, "merge_batches",
+            into=batch.batch_id, donor=donor.batch_id, group=list(merged),
+        )
+        return True
+
+    def _preempt_request(self, request: Request, batch: DecodeBatch) -> None:
+        self.pool.evict(request.request_id)
+        batch.remove(request)
+        request.state = RequestState.PREEMPTED
+        request.preemptions += 1
+        self.pending.append(request)
+        self.pending.sort(key=lambda r: r.arrival_time)
+        self.trace.record(self.sim.now, "preempt", request=request.request_id)
+
+    def _on_decode_done(self, batch: DecodeBatch, masters: tuple[int, ...]) -> None:
+        now = self.sim.now
+        # The group may have been shrunk mid-iteration by the allocation
+        # step; appends must land on instances the batch still owns.
+        masters = tuple(i for i in masters if i in batch.instance_ids)
+        if not masters and batch.instance_ids:
+            masters = assign_masters(
+                batch.instance_ids, self.pool, batch.batch_size,
+                self.config.scheduler,
+            )
+        if not masters:
+            # Batch lost every instance; orphans are re-homed by the tick.
+            batch.running = False
+            self._adopt_orphans(batch)
+            self._request_tick()
+            return
+        for request in list(batch.requests):
+            request.generated += 1
+            if request.generated >= request.output_len:
+                self._finish_request(request)
+                continue
+            # The capacity pre-check ran at iteration start; migrations may
+            # have filled the masters since, so fall back to any group
+            # instance with space, then to preemption.
+            candidates = [i for i in masters if self.pool.pools[i].free > 0]
+            if not candidates:
+                candidates = [
+                    i for i in batch.instance_ids if self.pool.pools[i].free > 0
+                ]
+            if candidates:
+                target = pick_append_instance(tuple(candidates), self.pool)
+                self.pool.extend(request.request_id, target, 1)
+            else:
+                request.generated -= 1  # token could not be retained
+                self._preempt_request(request, batch)
+        batch.remove_finished()
+        batch.running = False
+        if not batch.requests:
+            self._remove_batch(batch)
+        self._request_tick()
+
+    def _finish_request(self, request: Request) -> None:
+        request.state = RequestState.FINISHED
+        request.finish_time = self.sim.now
+        self.pool.evict(request.request_id)
+        self.finished.append(request)
+        if request.prefill_end is not None:
+            self._decode_latency_sum += self.sim.now - request.prefill_end
+            self._decode_latency_count += 1
+        self.trace.record(self.sim.now, "finish", request=request.request_id)
+
+    def _remove_batch(self, batch: DecodeBatch) -> None:
+        if batch in self.decode_batches:
+            self.decode_batches.remove(batch)
+        for instance_id in batch.instance_ids:
+            instance = self.instances[instance_id]
+            if instance.group_id == batch.batch_id:
+                instance.release()
+
+    def _avg_decode_latency(self) -> float:
+        if self._decode_latency_count == 0:
+            return 0.0
+        return self._decode_latency_sum / self._decode_latency_count

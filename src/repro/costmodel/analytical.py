@@ -1,0 +1,88 @@
+"""The paper's analytical iteration-time model (Eq. 7).
+
+``T_p(R) = α_p + β_p · Σ len + γ_p · Σ len²`` with one coefficient triple
+per parallelism strategy.  α captures constant overhead, β the linear
+layers (FFN/projections), γ the quadratic attention.  Coefficients are
+fitted from profiling samples by least squares (§5.5, fitting.py) and
+stored in the SIB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.parallel.strategy import ParallelismStrategy
+
+
+@dataclass(frozen=True)
+class StrategyCoefficients:
+    """Fitted (α, β, γ) for one parallelism strategy."""
+
+    alpha: float
+    beta: float
+    gamma: float
+
+    def predict(self, total_len: float, total_len_sq: float) -> float:
+        """Predicted iteration time from Σ len and Σ len²."""
+        return self.alpha + self.beta * total_len + self.gamma * total_len_sq
+
+
+class AnalyticalModel:
+    """Per-strategy quadratic predictor implementing ``IterationCostModel``.
+
+    The global manager plans with this model; the DP batching step (§5.3)
+    exploits that predictions depend only on the sums Σ len and Σ len²,
+    which prefix sums provide in O(1) per interval.
+    """
+
+    def __init__(self) -> None:
+        self._coefficients: dict[ParallelismStrategy, StrategyCoefficients] = {}
+
+    def set_coefficients(
+        self, strategy: ParallelismStrategy, coefficients: StrategyCoefficients
+    ) -> None:
+        self._coefficients[strategy] = coefficients
+
+    def coefficients(self, strategy: ParallelismStrategy) -> StrategyCoefficients:
+        try:
+            return self._coefficients[strategy]
+        except KeyError:
+            raise KeyError(
+                f"no fitted coefficients for {strategy}; profile it into the SIB first"
+            ) from None
+
+    def has_strategy(self, strategy: ParallelismStrategy) -> bool:
+        return strategy in self._coefficients
+
+    @property
+    def strategies(self) -> list[ParallelismStrategy]:
+        return sorted(self._coefficients, key=lambda s: (s.sequence_parallel, s.tensor_parallel))
+
+    def predict(
+        self, strategy: ParallelismStrategy, input_lens: Sequence[int]
+    ) -> float:
+        """Predicted prefill iteration time for a request set."""
+        total = float(sum(input_lens))
+        total_sq = float(sum(n * n for n in input_lens))
+        return self.coefficients(strategy).predict(total, total_sq)
+
+    def predict_sums(
+        self, strategy: ParallelismStrategy, total_len: float, total_len_sq: float
+    ) -> float:
+        """Predict directly from precomputed sums (used by the batching DP)."""
+        return self.coefficients(strategy).predict(total_len, total_len_sq)
+
+    def prefill_time(
+        self,
+        input_lens: Sequence[int],
+        instances: Sequence[int] | int,
+        tensor_parallel: int,
+    ) -> float:
+        """``IterationCostModel`` interface: strategy inferred from the group."""
+        if isinstance(instances, int):
+            sp = instances
+        else:
+            sp = max(1, len(list(instances)))
+        strategy = ParallelismStrategy(tensor_parallel=tensor_parallel, sequence_parallel=sp)
+        return self.predict(strategy, input_lens)

@@ -1,0 +1,119 @@
+"""Communication cost primitives for the collectives LoongServe issues.
+
+Three communication patterns matter:
+
+* **Tensor-parallel all-reduce** — two per transformer layer over the
+  activation tensor, inside one elastic instance (always NVLink).
+* **Sequence-parallel ring pass** — striped attention circulates each
+  instance's KV shard around the parallel group once per round, with
+  ``sp - 1`` rounds per layer (§2.3, Figure 1).
+* **Multi-master query exchange** — masters broadcast query tensors to the
+  group and gather partial attention results back (§4.2, Figure 8).
+
+All models are bandwidth + per-message latency; collective algorithms use
+the standard ring formulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import Interconnect
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Times collective operations on a concrete cluster."""
+
+    cluster: Cluster
+
+    def _instance_link(self, instances: list[int], tensor_parallel: int) -> Interconnect:
+        """Bottleneck link among a set of elastic instances."""
+        gpus: list[int] = []
+        for inst in instances:
+            gpus.extend(self.cluster.instance_gpus(inst, tensor_parallel))
+        topo = self.cluster.topology
+        if topo.spans_nodes(gpus):
+            return topo.infiniband
+        return topo.nvlink
+
+    def allreduce_time(self, num_bytes: float, world: int, link: Interconnect) -> float:
+        """Ring all-reduce of ``num_bytes`` across ``world`` participants.
+
+        Standard cost: each participant sends ``2 (w-1)/w`` of the buffer.
+        """
+        if world <= 1 or num_bytes <= 0:
+            return 0.0
+        wire = 2 * (world - 1) / world * num_bytes / link.bandwidth
+        return wire + 2 * (world - 1) * link.latency
+
+    def tp_allreduce_time(self, activation_bytes: float, tensor_parallel: int) -> float:
+        """One all-reduce inside an elastic instance (always intra-node)."""
+        return self.allreduce_time(
+            activation_bytes, tensor_parallel, self.cluster.topology.nvlink
+        )
+
+    def ring_pass_time(
+        self,
+        shard_bytes: float,
+        instances: list[int],
+        tensor_parallel: int,
+    ) -> float:
+        """One round of KV circulation: every instance forwards its shard.
+
+        Each instance's TP ranks stream their slice in parallel, so the
+        effective bandwidth is ``link_bw * tensor_parallel``; rounds are
+        synchronous so one round costs one hop.
+        """
+        if len(instances) <= 1 or shard_bytes <= 0:
+            return 0.0
+        link = self._instance_link(instances, tensor_parallel)
+        effective_bw = link.bandwidth * tensor_parallel
+        return link.latency + shard_bytes / effective_bw
+
+    def query_exchange_time(
+        self,
+        query_bytes: float,
+        result_bytes: float,
+        instances: list[int],
+        tensor_parallel: int,
+    ) -> float:
+        """Master sends queries out and gathers partial attention back.
+
+        Both directions cross the group bottleneck link; masters exchange
+        concurrently so the cost is one send + one gather of the per-peer
+        payload, not a full broadcast serialisation.
+        """
+        if len(instances) <= 1:
+            return 0.0
+        link = self._instance_link(instances, tensor_parallel)
+        effective_bw = link.bandwidth * tensor_parallel
+        total = query_bytes + result_bytes
+        return 2 * link.latency + total / effective_bw
+
+    def migration_time(
+        self,
+        kv_bytes: float,
+        src_instance: int,
+        dst_instance: int,
+        tensor_parallel: int,
+    ) -> float:
+        """Bulk KV cache migration between two instances.
+
+        This is the *reactive migration* cost the paper's baselines pay
+        (§4.1) and LoongServe's allocation step weighs via Eq. 4.
+        """
+        if kv_bytes <= 0:
+            return 0.0
+        bw = self.cluster.instance_bandwidth(src_instance, dst_instance, tensor_parallel)
+        src_gpu = self.cluster.instance_gpus(src_instance, tensor_parallel)[0]
+        dst_gpu = self.cluster.instance_gpus(dst_instance, tensor_parallel)[0]
+        latency = self.cluster.topology.link(src_gpu, dst_gpu).latency
+        return latency + kv_bytes / bw
+
+    def instance_bandwidth(
+        self, src_instance: int, dst_instance: int, tensor_parallel: int
+    ) -> float:
+        """Aggregate bytes/s between two instances (Eq. 4's avg_bandwidth)."""
+        return self.cluster.instance_bandwidth(src_instance, dst_instance, tensor_parallel)

@@ -1,0 +1,271 @@
+"""Roofline iteration-time model — the simulator's "hardware ground truth".
+
+Each iteration's duration is the max of its compute time and its HBM time
+(the roofline), plus non-overlapped communication and a fixed launch
+overhead.  The asymmetries the paper exploits all emerge from this model:
+
+* Prefill is compute-bound (quadratic attention FLOPs), so more GPUs help.
+* Decode is memory-bound at small batch sizes (every iteration streams the
+  weights), so extra instances help only once the KV cache or batch size
+  is large — Figure 2.
+* Sequence parallelism communicates KV shards on a ring and overlaps the
+  transfer with attention compute, so SPxTP combinations match or beat
+  pure TP — Figure 3.
+* Multi-master decoding parallelises the length-independent (linear)
+  layers across masters, which pays off exactly when decode becomes
+  compute-bound at large batch sizes — Figure 14b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.costmodel.comm import CollectiveModel
+from repro.model.flops import decode_flops
+from repro.model.spec import ModelSpec
+
+
+class IterationCostModel(Protocol):
+    """What the global manager needs from a cost model (§5.5).
+
+    ``T(R, E)`` in the paper: predicted prefill iteration time of request
+    set ``R`` on elastic instance set ``E``.  Implemented both by the
+    roofline ground truth and by the SIB-fitted analytical model.
+    """
+
+    def prefill_time(
+        self,
+        input_lens: Sequence[int],
+        instances: Sequence[int],
+        tensor_parallel: int,
+    ) -> float: ...
+
+
+@dataclass(frozen=True)
+class RooflineCostModel:
+    """Derives iteration times from the cluster and model specs.
+
+    ``iteration_overhead`` covers CUDA launch, scheduling RPC, and Python
+    driver time per iteration; ``layer_sync_overhead`` is the per-layer
+    synchronisation cost sequence parallelism adds when a group has more
+    than one instance.  ``sp_overlap`` / ``decode_overlap`` are the
+    fractions of ring-pass / query-exchange traffic hidden behind attention
+    compute (striped attention and multi-master decoding both overlap
+    communication with computation, §4).
+    """
+
+    cluster: Cluster
+    model: ModelSpec
+    iteration_overhead: float = 3.0e-3
+    layer_sync_overhead: float = 8.0e-6
+    per_seq_overhead: float = 2.0e-4
+    sp_overlap: float = 0.90
+    decode_overlap: float = 0.80
+
+    @property
+    def collectives(self) -> CollectiveModel:
+        return CollectiveModel(cluster=self.cluster)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolve_instances(self, instances: Sequence[int] | int) -> list[int]:
+        if isinstance(instances, int):
+            return list(range(instances))
+        return list(instances)
+
+    def _group_gpus(self, instances: list[int], tensor_parallel: int) -> list[int]:
+        gpus: list[int] = []
+        for inst in instances:
+            gpus.extend(self.cluster.instance_gpus(inst, tensor_parallel))
+        return gpus
+
+    # -- prefill -----------------------------------------------------------
+
+    def prefill_time(
+        self,
+        input_lens: Sequence[int],
+        instances: Sequence[int] | int,
+        tensor_parallel: int,
+    ) -> float:
+        """Iteration time of a pure prefill batch on an ESP group."""
+        insts = self._resolve_instances(instances)
+        if not input_lens:
+            return 0.0
+        chunks = [(n, 0) for n in input_lens]
+        return self.fused_iteration_time(chunks, [], insts, tensor_parallel)
+
+    def fused_iteration_time(
+        self,
+        prefill_chunks: Sequence[tuple[int, int]],
+        decode_contexts: Sequence[int],
+        instances: Sequence[int] | int,
+        tensor_parallel: int,
+        num_masters: int = 1,
+    ) -> float:
+        """General iteration: prefill chunks plus piggybacked decodes.
+
+        ``prefill_chunks`` is a list of ``(new_tokens, cached_context)``
+        pairs — a full prefill is ``(input_len, 0)``; chunked prefill
+        (SplitFuse) passes the chunk plus the tokens already cached.
+        ``decode_contexts`` are the KV lengths of fused decode requests.
+        This single entry point serves LoongServe, vLLM-style mixed
+        batching, and both chunked-prefill baselines.
+        """
+        insts = self._resolve_instances(instances)
+        sp = max(1, len(insts))
+        tp = tensor_parallel
+        world = sp * tp
+        gpu = self.cluster.gpu
+        m = self.model
+
+        new_tokens = sum(c for c, _ in prefill_chunks)
+        batch_tokens = new_tokens + len(decode_contexts)
+        if batch_tokens == 0:
+            return 0.0
+
+        # Compute: linear work scales with tokens processed, attention with
+        # query x context pairs.  Striped attention balances the causal
+        # wedge across instances, so an even split is accurate.
+        linear_flops = m.flops_per_token_linear() * batch_tokens
+        attn_flops = 0.0
+        for chunk, context in prefill_chunks:
+            attn_flops += m.attention_flops(chunk, context + chunk / 2)
+        for context in decode_contexts:
+            attn_flops += m.attention_flops(1, context + 1)
+        compute_time = (linear_flops + attn_flops) / (world * gpu.sustained_flops)
+        attn_compute_time = attn_flops / (world * gpu.sustained_flops)
+
+        # Memory: every instance streams its weight shard once; activations
+        # and the attended KV stream through HBM as well.
+        kv_read = sum(context for _, context in prefill_chunks) + sum(
+            c + 1 for c in decode_contexts
+        )
+        kv_bytes = kv_read * m.kv_bytes_per_token / sp  # split across instances
+        act_bytes = 2 * batch_tokens * m.hidden_size * m.dtype_bytes * m.num_layers / sp
+        per_gpu_bytes = m.weight_bytes / tp + (kv_bytes + act_bytes) / tp
+        memory_time = per_gpu_bytes / gpu.sustained_bandwidth
+
+        # Tensor-parallel all-reduce: two per layer over this group's
+        # activation slice.  Intra-instance, hence NVLink.
+        coll = self.collectives
+        act_slice = batch_tokens / sp * m.hidden_size * m.dtype_bytes
+        tp_comm = (
+            m.num_layers * 2 * coll.tp_allreduce_time(act_slice, tp) if tp > 1 else 0.0
+        )
+
+        # Sequence-parallel ring: (sp-1) rounds per layer, each circulating
+        # this iteration's KV shard; mostly hidden behind attention.
+        sp_comm = 0.0
+        if sp > 1:
+            shard_bytes = (
+                batch_tokens / sp * 2 * m.kv_hidden_size * m.dtype_bytes
+            )
+            one_round = coll.ring_pass_time(shard_bytes, insts, tp)
+            sp_comm = m.num_layers * (sp - 1) * one_round
+            sp_comm = max(sp_comm * (1 - self.sp_overlap), sp_comm - attn_compute_time)
+            sp_comm += m.num_layers * self.layer_sync_overhead
+
+        # Per-sequence driver work (batching bookkeeping, sampling,
+        # detokenisation) — the serving-era Python/runtime cost that makes
+        # very large batches pay a real marginal price.  Masters split it,
+        # which is part of what multi-master decoding buys (§4.2).
+        batch_seqs = len(prefill_chunks) + len(decode_contexts)
+        seq_overhead = self.per_seq_overhead * batch_seqs / max(1, num_masters)
+
+        roofline = max(compute_time, memory_time)
+        return roofline + tp_comm + sp_comm + seq_overhead + self.iteration_overhead
+
+    # -- decode ------------------------------------------------------------
+
+    def decode_time(
+        self,
+        context_lens: Sequence[int],
+        instances: Sequence[int] | int,
+        tensor_parallel: int,
+        num_masters: int = 1,
+    ) -> float:
+        """Iteration time of one decode step on an ESP group.
+
+        ``num_masters`` master instances split the batch's linear layers
+        (multi-master distributed decoding, §4.2); all ``sp`` instances
+        share the attention over their local KV shards.
+        """
+        insts = self._resolve_instances(instances)
+        if not context_lens:
+            return 0.0
+        sp = max(1, len(insts))
+        tp = tensor_parallel
+        masters = max(1, min(num_masters, sp))
+        gpu = self.cluster.gpu
+        m = self.model
+        bs = len(context_lens)
+
+        linear_flops = m.flops_per_token_linear() * bs
+        attn_flops = sum(m.attention_flops(1, c + 1) for c in context_lens)
+
+        # Masters split linear work; attention splits across the group.
+        linear_compute = linear_flops / (masters * tp * gpu.sustained_flops)
+        attn_compute = attn_flops / (sp * tp * gpu.sustained_flops)
+
+        # Each master streams its full weight shard; KV reads split across
+        # the group (token-granularity placement keeps shards balanced).
+        kv_bytes = sum(c + 1 for c in context_lens) * m.kv_bytes_per_token
+        weight_time = (m.weight_bytes / tp) / gpu.sustained_bandwidth
+        kv_time = (kv_bytes / (sp * tp)) / gpu.sustained_bandwidth
+
+        compute_time = linear_compute + attn_compute
+        memory_time = weight_time + kv_time
+        roofline = max(compute_time, memory_time)
+
+        # TP all-reduce on the decode activations (tiny but real).
+        coll = self.collectives
+        act_bytes = bs / masters * m.hidden_size * m.dtype_bytes
+        tp_comm = (
+            m.num_layers * 2 * coll.tp_allreduce_time(act_bytes, tp) if tp > 1 else 0.0
+        )
+
+        # Query exchange between masters and the rest of the group,
+        # overlapped with the local attention of mastered requests.
+        sp_comm = 0.0
+        if sp > 1:
+            query_bytes = bs * m.hidden_size * m.dtype_bytes * (sp - 1) / sp
+            result_bytes = query_bytes  # partial attention outputs + stats
+            per_layer = coll.query_exchange_time(query_bytes, result_bytes, insts, tp)
+            sp_comm = m.num_layers * per_layer
+            sp_comm = max(sp_comm * (1 - self.decode_overlap), sp_comm - attn_compute)
+            sp_comm += m.num_layers * self.layer_sync_overhead
+
+        seq_overhead = self.per_seq_overhead * bs / masters
+        return roofline + tp_comm + sp_comm + seq_overhead + self.iteration_overhead
+
+    # -- auxiliary costs ---------------------------------------------------
+
+    def migration_time(
+        self,
+        num_tokens: int,
+        src_instance: int,
+        dst_instance: int,
+        tensor_parallel: int,
+    ) -> float:
+        """Seconds to reactively migrate ``num_tokens`` of KV cache."""
+        kv_bytes = num_tokens * self.model.kv_bytes_per_token
+        return self.collectives.migration_time(
+            kv_bytes, src_instance, dst_instance, tensor_parallel
+        )
+
+    def decode_step_lower_bound(self, tensor_parallel: int) -> float:
+        """Fastest possible decode step (weights read + overhead).
+
+        Useful as the SLO reference scale: the paper sets the SLO to 25x
+        the inference latency, which for decode is bounded below by the
+        weight-streaming time.
+        """
+        gpu = self.cluster.gpu
+        weight_time = (self.model.weight_bytes / tensor_parallel) / gpu.sustained_bandwidth
+        return weight_time + self.iteration_overhead
+
+    def decode_flops_per_step(self, context_len: int) -> float:
+        """Convenience passthrough for analyses and tests."""
+        return decode_flops(self.model, context_len)

@@ -1,0 +1,31 @@
+"""Functional execution engine (numpy).
+
+This package *executes* the paper's parallelism mechanisms rather than
+modelling their time: striped-attention sequence-parallel prefill with
+ring KV circulation (§2.3), proactive scale-down retention (§4.1), and
+single-/multi-master distributed decoding with Flash-Decoding-style
+partial-attention reduction (§4.2).  Tensor parallelism is mathematically
+transparent (it shards matmuls without changing results), so instances
+here are SP ranks; TP is handled by the cost model alone.
+
+Everything is verifiable: outputs must match the serial reference
+transformer bit-for-bit up to float tolerance, and after a proactive
+scale-down the KV pools of surviving instances must hold exactly the
+planned token placement.
+"""
+
+from repro.engine.decode import DistributedDecoder
+from repro.engine.instance import FunctionalInstance, KVShard
+from repro.engine.reference import ReferenceTransformer
+from repro.engine.striped import StripedPrefillRun, striped_prefill
+from repro.engine.weights import TransformerWeights
+
+__all__ = [
+    "DistributedDecoder",
+    "FunctionalInstance",
+    "KVShard",
+    "ReferenceTransformer",
+    "StripedPrefillRun",
+    "TransformerWeights",
+    "striped_prefill",
+]

@@ -1,0 +1,142 @@
+"""Distributed decoding: single- and multi-master (§4.2, Figure 8).
+
+One decode step of a batch proceeds per layer as:
+
+1. Each request's **master** instance projects Q/K/V for the new token and
+   appends K/V to its *local* shard (newly generated KV never migrates).
+2. The master sends the query to every instance holding KV for the
+   request; each computes partial attention over its local shard and
+   returns an (m, l, acc) triple.
+3. The master reduces the partials (online-softmax merge), applies the
+   output projection, residual, and FFN — linear layers run only on
+   masters, which is why multi-master helps when decode is compute-bound.
+
+Query/partial-result messages are counted so tests can check the claimed
+communication pattern (no KV movement, only O(hidden) per token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.instance import FunctionalInstance
+from repro.engine.softmax import OnlineSoftmax
+from repro.engine.weights import TransformerWeights
+from repro.engine.reference import ReferenceTransformer, expand_kv_heads, merge_heads
+
+
+@dataclass
+class DecodeStepResult:
+    """Outputs of one distributed decode iteration."""
+
+    hidden: dict[int, np.ndarray]  # request id -> output hidden state
+    query_messages: int  # cross-instance query/partial exchanges
+    kv_migrated_tokens: int  # always 0 — the mechanism's guarantee
+
+
+@dataclass
+class DistributedDecoder:
+    """Drives decode iterations for a parallel group of instances."""
+
+    weights: TransformerWeights
+    instances: list[FunctionalInstance]
+    _reference: ReferenceTransformer = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ValueError("need at least one instance")
+        self._reference = ReferenceTransformer(self.weights)
+
+    def _instance_by_id(self, instance_id: int) -> FunctionalInstance:
+        for inst in self.instances:
+            if inst.instance_id == instance_id:
+                return inst
+        raise KeyError(f"instance {instance_id} not in group")
+
+    def request_length(self, request_id: int) -> int:
+        """Total tokens of a request across the group's shards."""
+        return sum(inst.tokens_held(request_id) for inst in self.instances)
+
+    def decode_step(
+        self,
+        inputs: dict[int, np.ndarray],
+        masters: dict[int, int],
+    ) -> DecodeStepResult:
+        """One iteration over a batch.
+
+        ``inputs`` maps request id -> the new token's embedding (hidden,).
+        ``masters`` maps request id -> master *instance id*.  Multi-master
+        decoding is simply a ``masters`` map with more than one distinct
+        value.
+        """
+        w = self.weights
+        missing = set(inputs) - set(masters)
+        if missing:
+            raise ValueError(f"requests {sorted(missing)} have no master assigned")
+
+        query_messages = 0
+        hidden: dict[int, np.ndarray] = {}
+        positions: dict[int, int] = {}
+        for request_id, x_t in inputs.items():
+            if x_t.shape != (w.hidden_size,):
+                raise ValueError(
+                    f"request {request_id}: expected ({w.hidden_size},), got {x_t.shape}"
+                )
+            hidden[request_id] = x_t[None, :]
+            positions[request_id] = self.request_length(request_id)
+
+        for layer_idx, layer in enumerate(w.layers):
+            for request_id in inputs:
+                master = self._instance_by_id(masters[request_id])
+                pos = positions[request_id]
+                pos_array = np.array([pos])
+                q, k, v = self._reference.project_qkv(
+                    layer, hidden[request_id], pos_array
+                )
+                # New KV is stored on the master — never migrated (§4.2).
+                master.store(request_id, layer_idx, pos_array, k, v)
+
+                accumulator = OnlineSoftmax(1, w.num_heads, w.head_dim)
+                for inst in self.instances:
+                    shard = inst.shard(request_id, layer_idx)
+                    if shard.num_tokens == 0:
+                        continue
+                    partial = OnlineSoftmax(1, w.num_heads, w.head_dim)
+                    partial.update(
+                        q,
+                        expand_kv_heads(shard.k, w.group_size),
+                        expand_kv_heads(shard.v, w.group_size),
+                        pos_array,
+                        shard.positions,
+                    )
+                    if inst.instance_id != master.instance_id:
+                        query_messages += 2  # query out, partial back
+                    accumulator.merge_partial(*partial.partial())
+
+                attn = accumulator.finalize()
+                h = hidden[request_id] + merge_heads(attn) @ layer.wo
+                h = h + self._reference.ffn(layer, h)
+                hidden[request_id] = h
+
+        outputs = {rid: h[0] for rid, h in hidden.items()}
+        return DecodeStepResult(
+            hidden=outputs, query_messages=query_messages, kv_migrated_tokens=0
+        )
+
+    def scale_up(self, new_instances: list[FunctionalInstance]) -> None:
+        """Add instances to the group — no KV moves, they just join."""
+        known = {inst.instance_id for inst in self.instances}
+        for inst in new_instances:
+            if inst.instance_id in known:
+                raise ValueError(f"instance {inst.instance_id} already in group")
+            self.instances.append(inst)
+
+    def placement_of(self, request_id: int) -> dict[int, int]:
+        """Observed token placement of a request across the group."""
+        return {
+            inst.instance_id: inst.tokens_held(request_id)
+            for inst in self.instances
+            if inst.tokens_held(request_id) > 0
+        }

@@ -1,0 +1,177 @@
+"""Serial reference transformer — the correctness oracle.
+
+Single-"device" prefill and decode with an explicit KV cache.  The
+distributed engine (striped prefill, multi-master decode) must reproduce
+this module's outputs exactly (up to floating-point tolerance), which is
+what makes the ESP mechanisms verifiable without GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.weights import LayerWeights, TransformerWeights, rmsnorm, rope_rotate, silu
+
+
+@dataclass
+class LayerKVCache:
+    """K/V tensors of one layer: (tokens, kv_heads, head_dim)."""
+
+    k: np.ndarray
+    v: np.ndarray
+
+    @property
+    def num_tokens(self) -> int:
+        return self.k.shape[0]
+
+
+@dataclass
+class KVCache:
+    """Per-layer KV cache of one request on the reference engine."""
+
+    layers: list[LayerKVCache] = field(default_factory=list)
+
+    @property
+    def num_tokens(self) -> int:
+        return self.layers[0].num_tokens if self.layers else 0
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """(tokens, heads*dim) -> (tokens, heads, dim)."""
+    tokens, width = x.shape
+    return x.reshape(tokens, num_heads, width // num_heads)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """(tokens, heads, dim) -> (tokens, heads*dim)."""
+    tokens, heads, dim = x.shape
+    return x.reshape(tokens, heads * dim)
+
+
+def expand_kv_heads(kv: np.ndarray, group_size: int) -> np.ndarray:
+    """Repeat KV heads for GQA/MQA: (tokens, kv_heads, d) -> (tokens, heads, d)."""
+    if group_size == 1:
+        return kv
+    return np.repeat(kv, group_size, axis=1)
+
+
+def causal_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    q_positions: np.ndarray,
+    k_positions: np.ndarray,
+) -> np.ndarray:
+    """Masked attention with explicit global positions.
+
+    q: (nq, heads, d); k, v: (nk, heads, d).  A query at position p
+    attends to keys at positions <= p.  Returns (nq, heads, d).
+    """
+    head_dim = q.shape[-1]
+    scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(head_dim)
+    mask = k_positions[None, :] <= q_positions[:, None]  # (nq, nk)
+    scores = np.where(mask[None, :, :], scores, -np.inf)
+    scores -= scores.max(axis=-1, keepdims=True)
+    weights = np.exp(scores)
+    weights /= weights.sum(axis=-1, keepdims=True)
+    return np.einsum("hqk,khd->qhd", weights, v)
+
+
+class ReferenceTransformer:
+    """Plain, single-device forward passes with a KV cache."""
+
+    def __init__(self, weights: TransformerWeights) -> None:
+        self.weights = weights
+
+    # -- layer pieces --------------------------------------------------------
+
+    def project_qkv(
+        self, layer: LayerWeights, x: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Normed projections with RoPE applied at global positions."""
+        w = self.weights
+        normed = rmsnorm(x, layer.attn_norm)
+        q = split_heads(normed @ layer.wq, w.num_heads)
+        k = split_heads(normed @ layer.wk, w.num_kv_heads)
+        v = split_heads(normed @ layer.wv, w.num_kv_heads)
+        q = rope_rotate(q, positions, w.rope_base)
+        k = rope_rotate(k, positions, w.rope_base)
+        return q, k, v
+
+    def ffn(self, layer: LayerWeights, x: np.ndarray) -> np.ndarray:
+        normed = rmsnorm(x, layer.ffn_norm)
+        return (silu(normed @ layer.w_gate) * (normed @ layer.w_up)) @ layer.w_down
+
+    # -- full passes -----------------------------------------------------------
+
+    def prefill(self, x: np.ndarray) -> tuple[np.ndarray, KVCache]:
+        """Process a full sequence; return hidden states and the KV cache.
+
+        ``x`` is (tokens, hidden) — the "embedded" input sequence.
+        """
+        w = self.weights
+        if x.ndim != 2 or x.shape[1] != w.hidden_size:
+            raise ValueError(f"expected (tokens, {w.hidden_size}), got {x.shape}")
+        positions = np.arange(x.shape[0])
+        cache = KVCache()
+        hidden = x
+        for layer in w.layers:
+            q, k, v = self.project_qkv(layer, hidden, positions)
+            cache.layers.append(LayerKVCache(k=k.copy(), v=v.copy()))
+            k_full = expand_kv_heads(k, w.group_size)
+            v_full = expand_kv_heads(v, w.group_size)
+            attn = causal_attention(q, k_full, v_full, positions, positions)
+            hidden = hidden + merge_heads(attn) @ layer.wo
+            hidden = hidden + self.ffn(layer, hidden)
+        return hidden, cache
+
+    def decode_step(
+        self, x_t: np.ndarray, cache: KVCache, position: int | None = None
+    ) -> np.ndarray:
+        """Process one new token; append its KV to the cache in place.
+
+        ``x_t`` is (hidden,).  Returns the output hidden state (hidden,).
+        """
+        w = self.weights
+        if x_t.shape != (w.hidden_size,):
+            raise ValueError(f"expected ({w.hidden_size},), got {x_t.shape}")
+        pos = cache.num_tokens if position is None else position
+        positions = np.array([pos])
+        hidden = x_t[None, :]
+        for idx, layer in enumerate(w.layers):
+            q, k, v = self.project_qkv(layer, hidden, positions)
+            layer_cache = cache.layers[idx]
+            layer_cache.k = np.concatenate([layer_cache.k, k], axis=0)
+            layer_cache.v = np.concatenate([layer_cache.v, v], axis=0)
+            k_full = expand_kv_heads(layer_cache.k, w.group_size)
+            v_full = expand_kv_heads(layer_cache.v, w.group_size)
+            k_positions = np.arange(layer_cache.k.shape[0])
+            attn = causal_attention(q, k_full, v_full, positions, k_positions)
+            hidden = hidden + merge_heads(attn) @ layer.wo
+            hidden = hidden + self.ffn(layer, hidden)
+        return hidden[0]
+
+    def generate(self, x: np.ndarray, num_steps: int, seed: int = 1) -> np.ndarray:
+        """Prefill then decode ``num_steps`` synthetic next-token inputs.
+
+        Decode inputs are a deterministic function of the previous hidden
+        state, making end-to-end generation comparable across engines
+        without a tokenizer.
+        """
+        hidden, cache = self.prefill(x)
+        outputs = [hidden[-1]]
+        for _ in range(num_steps):
+            x_t = next_token_embedding(outputs[-1])
+            outputs.append(self.decode_step(x_t, cache))
+        return np.stack(outputs)
+
+
+def next_token_embedding(hidden: np.ndarray) -> np.ndarray:
+    """Deterministic pseudo-embedding of the "sampled" next token.
+
+    A fixed nonlinear map of the previous output standing in for
+    ``embed(argmax(logits))``; identical across engines by construction.
+    """
+    return np.tanh(hidden) * 0.5

@@ -1,0 +1,95 @@
+"""Online-softmax accumulation (the Flash-Attention/Flash-Decoding trick).
+
+Both striped prefill and distributed decode compute attention over KV
+blocks that arrive piecewise — ring rounds in prefill, per-instance
+shards in decode.  ``OnlineSoftmax`` folds each partial block into a
+running (max, sum-of-exponentials, weighted-value) triple so the final
+result is exactly full-softmax attention regardless of arrival order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class OnlineSoftmax:
+    """Streaming softmax-weighted accumulation over key/value blocks.
+
+    Shapes: queries (nq, heads, d); per-block keys/values (nk, heads, d).
+    Maintains per-(head, query) running statistics.  Blocks where a query
+    sees no unmasked key leave that query's state untouched.
+    """
+
+    def __init__(self, num_queries: int, num_heads: int, head_dim: int) -> None:
+        self.m = np.full((num_heads, num_queries), -np.inf)
+        self.l = np.zeros((num_heads, num_queries))
+        self.acc = np.zeros((num_queries, num_heads, head_dim))
+        self.head_dim = head_dim
+
+    def update(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        q_positions: np.ndarray,
+        k_positions: np.ndarray,
+    ) -> None:
+        """Fold one KV block in, with a causal mask on global positions."""
+        if k.shape[0] == 0:
+            return
+        scores = np.einsum("qhd,khd->hqk", q, k) / np.sqrt(self.head_dim)
+        mask = k_positions[None, :] <= q_positions[:, None]  # (nq, nk)
+        scores = np.where(mask[None, :, :], scores, -np.inf)
+
+        block_max = scores.max(axis=-1)  # (heads, nq)
+        new_m = np.maximum(self.m, block_max)
+        # exp(-inf - -inf) would be NaN; fully-masked entries contribute 0.
+        finite = ~np.isneginf(new_m)
+        with np.errstate(invalid="ignore"):
+            old_corr = np.where(
+                finite, np.exp(np.where(finite, self.m - new_m, 0.0)), 0.0
+            )
+            exp_scores = np.where(
+                np.isneginf(scores),
+                0.0,
+                np.exp(scores - np.where(finite, new_m, 0.0)[:, :, None]),
+            )
+        block_l = exp_scores.sum(axis=-1)
+        block_acc = np.einsum("hqk,khd->qhd", exp_scores, v)
+
+        self.m = new_m
+        self.l = self.l * old_corr + block_l
+        self.acc = self.acc * old_corr.transpose(1, 0)[:, :, None] + block_acc
+
+    def merge_partial(self, m: np.ndarray, l: np.ndarray, acc: np.ndarray) -> None:
+        """Fold in another accumulator's (m, l, acc) triple.
+
+        This is the reduction masters perform over partial attention
+        results returned by peer instances (§4.2, Figure 8).
+        """
+        new_m = np.maximum(self.m, m)
+        finite = ~np.isneginf(new_m)
+        with np.errstate(invalid="ignore"):
+            self_corr = np.where(
+                finite, np.exp(np.where(finite, self.m - new_m, 0.0)), 0.0
+            )
+            other_corr = np.where(
+                finite, np.exp(np.where(finite, m - new_m, 0.0)), 0.0
+            )
+        self.m = new_m
+        self.l = self.l * self_corr + l * other_corr
+        self.acc = (
+            self.acc * self_corr.transpose(1, 0)[:, :, None]
+            + acc * other_corr.transpose(1, 0)[:, :, None]
+        )
+
+    def partial(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Export the raw (m, l, acc) triple for cross-instance reduction."""
+        return self.m.copy(), self.l.copy(), self.acc.copy()
+
+    def finalize(self) -> np.ndarray:
+        """The attention output: acc / l, shape (nq, heads, d)."""
+        denominator = self.l.transpose(1, 0)[:, :, None]
+        if np.any(denominator == 0):
+            raise ValueError("some query attended to no keys; causal mask broken")
+        return self.acc / denominator

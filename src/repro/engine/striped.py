@@ -1,0 +1,187 @@
+"""Striped-attention sequence-parallel prefill with proactive scale-down.
+
+Implements Figure 1 and §4.1 functionally:
+
+1. The input sequence is *striped* across the parallel group — token at
+   global position ``j`` is owned by instance ``j % sp``.  Striping (vs.
+   contiguous blocks) balances the causal-mask work across instances.
+2. Each layer, every instance projects Q/K/V for its own tokens, then the
+   KV blocks circulate the ring: ``sp - 1`` rounds, each instance passing
+   the block it holds to its neighbour while computing partial attention
+   between its local queries and the visiting block.
+3. **Proactive scale-down**: a retention plan maps surviving instances to
+   the token positions they must keep.  Because every KV block visits
+   every instance exactly once during the ring, each survivor simply
+   copies its assigned positions out of the blocks passing through — zero
+   messages beyond what the prefill already sends.  ``ring_sends`` is
+   counted so tests can assert that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.instance import FunctionalInstance
+from repro.engine.softmax import OnlineSoftmax
+from repro.engine.weights import TransformerWeights
+from repro.engine.reference import ReferenceTransformer, expand_kv_heads, merge_heads
+
+
+@dataclass
+class StripedPrefillRun:
+    """Result of a sequence-parallel prefill."""
+
+    hidden: np.ndarray  # (tokens, hidden) in original order
+    ring_sends: int  # KV block hops performed
+    retained: dict[int, int] = field(default_factory=dict)  # instance -> tokens kept
+
+    @property
+    def last_hidden(self) -> np.ndarray:
+        return self.hidden[-1]
+
+
+def stripe_assignment(num_tokens: int, sp: int) -> list[np.ndarray]:
+    """Global positions owned by each of ``sp`` instances (striped)."""
+    positions = np.arange(num_tokens)
+    return [positions[positions % sp == i] for i in range(sp)]
+
+
+def block_assignment(num_tokens: int, sp: int) -> list[np.ndarray]:
+    """Contiguous-block ownership (Ring Attention's layout).
+
+    Provided for comparison: blocks are causally imbalanced — the
+    instance owning the last block evaluates far more query-key pairs
+    than the first — which is why the paper builds on *Striped* Attention
+    (§2.3).  ``attention_pairs_per_instance`` quantifies the gap.
+    """
+    positions = np.arange(num_tokens)
+    return [chunk for chunk in np.array_split(positions, sp)]
+
+
+def attention_pairs_per_instance(assignment: list[np.ndarray]) -> list[int]:
+    """Causal query-key pairs each instance evaluates.
+
+    A query at global position q attends to q+1 keys; the ring delivers
+    every key to every instance, so ownership of queries alone fixes the
+    per-instance attention work.
+    """
+    return [int(np.sum(positions + 1)) for positions in assignment]
+
+
+def validate_retention_plan(
+    plan: dict[int, np.ndarray], num_tokens: int, group_size: int
+) -> None:
+    """A retention plan must partition [0, num_tokens) among survivors."""
+    if not plan:
+        raise ValueError("retention plan must keep at least one instance")
+    for idx in plan:
+        if not 0 <= idx < group_size:
+            raise ValueError(f"plan references instance index {idx} outside group")
+    merged = np.concatenate([np.asarray(p) for p in plan.values()]) if plan else np.array([])
+    merged = np.sort(merged)
+    expected = np.arange(num_tokens)
+    if merged.shape != expected.shape or not np.array_equal(merged, expected):
+        raise ValueError("retention plan must cover every token position exactly once")
+
+
+def striped_prefill(
+    weights: TransformerWeights,
+    x: np.ndarray,
+    instances: list[FunctionalInstance],
+    request_id: int,
+    retention_plan: dict[int, np.ndarray] | None = None,
+    assignment: list[np.ndarray] | None = None,
+) -> StripedPrefillRun:
+    """Run one request's prefill across an ESP group.
+
+    ``retention_plan`` maps *group-local* instance index -> global token
+    positions that instance keeps (proactive scale-down §4.1).  ``None``
+    means no scale-down: each instance keeps its own partition, the
+    standard sequence-parallel outcome.
+
+    ``assignment`` overrides the token-ownership layout (default:
+    striped).  Pass :func:`block_assignment` for the Ring-Attention
+    contiguous layout — results are identical, only the per-instance
+    work balance differs.
+    """
+    sp = len(instances)
+    if sp == 0:
+        raise ValueError("need at least one instance")
+    num_tokens = x.shape[0]
+    if num_tokens == 0:
+        raise ValueError("cannot prefill an empty sequence")
+
+    stripes = assignment if assignment is not None else stripe_assignment(num_tokens, sp)
+    if len(stripes) != sp:
+        raise ValueError(f"assignment has {len(stripes)} partitions for {sp} instances")
+    if retention_plan is None:
+        retention_plan = {i: stripes[i] for i in range(sp)}
+    validate_retention_plan(retention_plan, num_tokens, sp)
+    retain_sets = {i: set(np.asarray(p).tolist()) for i, p in retention_plan.items()}
+
+    reference = ReferenceTransformer(weights)
+    w = weights
+    hidden = [x[stripe] for stripe in stripes]  # per-instance local hidden states
+    ring_sends = 0
+
+    for layer_idx, layer in enumerate(w.layers):
+        # Projection: each instance handles its own stripe.
+        blocks = []  # circulating KV blocks: (origin, positions, k, v)
+        queries = []
+        for i in range(sp):
+            q, k, v = reference.project_qkv(layer, hidden[i], stripes[i])
+            queries.append(q)
+            blocks.append((i, stripes[i], k, v))
+
+        accumulators = [
+            OnlineSoftmax(len(stripes[i]), w.num_heads, w.head_dim) for i in range(sp)
+        ]
+
+        # Ring circulation: round r, instance i holds the block that
+        # originated at instance (i - r) mod sp.
+        held = list(blocks)
+        for round_idx in range(sp):
+            for i in range(sp):
+                origin, positions, k, v = held[i]
+                k_full = expand_kv_heads(k, w.group_size)
+                v_full = expand_kv_heads(v, w.group_size)
+                accumulators[i].update(queries[i], k_full, v_full, stripes[i], positions)
+                # Proactive retention: copy out assigned positions while
+                # the block is resident — no extra communication.
+                wanted = retain_sets.get(i)
+                if wanted:
+                    keep = np.array([p in wanted for p in positions])
+                    if keep.any():
+                        instances[i].store(
+                            request_id,
+                            layer_idx,
+                            positions[keep],
+                            k[keep],
+                            v[keep],
+                        )
+            if round_idx < sp - 1:
+                # Pass blocks to the neighbour: instance i receives from i-1.
+                held = [held[(i - 1) % sp] for i in range(sp)]
+                ring_sends += sp
+
+        # Attention output + residual + FFN, all local to each instance.
+        for i in range(sp):
+            attn = accumulators[i].finalize()
+            hidden[i] = hidden[i] + merge_heads(attn) @ layer.wo
+            hidden[i] = hidden[i] + reference.ffn(layer, hidden[i])
+
+    # Reassemble outputs into original token order.
+    output = np.zeros((num_tokens, w.hidden_size))
+    for i in range(sp):
+        output[stripes[i]] = hidden[i]
+
+    retained = {
+        instances[i].instance_id: instances[i].tokens_held(request_id) for i in range(sp)
+    }
+    return StripedPrefillRun(
+        hidden=output,
+        ring_sends=ring_sends,
+        retained={k: v for k, v in retained.items() if v > 0},
+    )

@@ -1,0 +1,137 @@
+"""Deterministic random weights for the functional transformer.
+
+The functional engine validates *mechanisms*, not model quality, so
+weights are seeded Gaussians scaled for numerical stability.  Shapes
+follow the Llama architecture (RMSNorm, RoPE, SwiGLU FFN, optional GQA),
+which is the architecture of the paper's evaluation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LayerWeights:
+    """One transformer layer's parameters."""
+
+    wq: np.ndarray  # (d, n_heads * head_dim)
+    wk: np.ndarray  # (d, n_kv_heads * head_dim)
+    wv: np.ndarray  # (d, n_kv_heads * head_dim)
+    wo: np.ndarray  # (n_heads * head_dim, d)
+    w_gate: np.ndarray  # (d, ffn)
+    w_up: np.ndarray  # (d, ffn)
+    w_down: np.ndarray  # (ffn, d)
+    attn_norm: np.ndarray  # (d,)
+    ffn_norm: np.ndarray  # (d,)
+
+
+@dataclass(frozen=True)
+class TransformerWeights:
+    """A complete toy decoder: config plus per-layer weights."""
+
+    hidden_size: int
+    num_heads: int
+    num_kv_heads: int
+    ffn_hidden_size: int
+    num_layers: int
+    layers: tuple[LayerWeights, ...] = field(default=())
+    rope_base: float = 10_000.0
+    dtype: np.dtype = np.dtype(np.float64)
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must divide num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_kv_heads must divide num_heads")
+        if len(self.layers) != self.num_layers:
+            raise ValueError(
+                f"expected {self.num_layers} layer weight sets, got {len(self.layers)}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def group_size(self) -> int:
+        """Query heads per KV head (1 for MHA, num_heads for MQA)."""
+        return self.num_heads // self.num_kv_heads
+
+    @classmethod
+    def random(
+        cls,
+        hidden_size: int = 32,
+        num_heads: int = 4,
+        num_kv_heads: int | None = None,
+        ffn_hidden_size: int | None = None,
+        num_layers: int = 2,
+        seed: int = 0,
+        dtype: np.dtype = np.dtype(np.float64),
+    ) -> TransformerWeights:
+        """Seeded random weights with 1/sqrt(d) scaling."""
+        num_kv_heads = num_kv_heads if num_kv_heads is not None else num_heads
+        ffn_hidden_size = ffn_hidden_size if ffn_hidden_size is not None else 3 * hidden_size
+        head_dim = hidden_size // num_heads
+        kv_width = num_kv_heads * head_dim
+        rng = np.random.default_rng(seed)
+
+        def mat(rows: int, cols: int) -> np.ndarray:
+            return (rng.standard_normal((rows, cols)) / np.sqrt(rows)).astype(dtype)
+
+        layers = []
+        for _ in range(num_layers):
+            layers.append(
+                LayerWeights(
+                    wq=mat(hidden_size, hidden_size),
+                    wk=mat(hidden_size, kv_width),
+                    wv=mat(hidden_size, kv_width),
+                    wo=mat(hidden_size, hidden_size),
+                    w_gate=mat(hidden_size, ffn_hidden_size),
+                    w_up=mat(hidden_size, ffn_hidden_size),
+                    w_down=mat(ffn_hidden_size, hidden_size),
+                    attn_norm=np.ones(hidden_size, dtype=dtype),
+                    ffn_norm=np.ones(hidden_size, dtype=dtype),
+                )
+            )
+        return cls(
+            hidden_size=hidden_size,
+            num_heads=num_heads,
+            num_kv_heads=num_kv_heads,
+            ffn_hidden_size=ffn_hidden_size,
+            num_layers=num_layers,
+            layers=tuple(layers),
+            dtype=dtype,
+        )
+
+
+def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer norm (Llama style)."""
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(variance + eps) * weight
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+def rope_rotate(x: np.ndarray, positions: np.ndarray, base: float = 10_000.0) -> np.ndarray:
+    """Apply rotary position embeddings.
+
+    ``x`` has shape (..., tokens, heads, head_dim); ``positions`` gives the
+    *global* sequence position of each token — striped attention depends
+    on rotating by global position regardless of which instance holds the
+    token.
+    """
+    head_dim = x.shape[-1]
+    if head_dim % 2 != 0:
+        raise ValueError("head_dim must be even for RoPE")
+    half = head_dim // 2
+    freqs = base ** (-np.arange(half, dtype=x.dtype) * 2.0 / head_dim)
+    angles = positions.astype(x.dtype)[:, None] * freqs[None, :]  # (tokens, half)
+    cos = np.cos(angles)[:, None, :]  # (tokens, 1, half)
+    sin = np.sin(angles)[:, None, :]
+    x1, x2 = x[..., :half], x[..., half:]
+    return np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)

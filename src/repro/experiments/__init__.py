@@ -1,0 +1,25 @@
+"""Experiment harness: one entry point per paper figure.
+
+``python -m repro.experiments figure10`` (etc.) regenerates the series
+behind each figure of the paper's evaluation; ``benchmarks/`` wraps the
+same entry points in pytest-benchmark.  Figures are rendered as text
+tables (this reproduction has no plotting dependency).
+"""
+
+from repro.experiments.systems import (
+    build_distserve,
+    build_replicated_tp2,
+    build_splitfuse,
+    build_static_sp,
+    build_vllm,
+    make_system,
+)
+
+__all__ = [
+    "build_distserve",
+    "build_replicated_tp2",
+    "build_splitfuse",
+    "build_static_sp",
+    "build_vllm",
+    "make_system",
+]

@@ -1,0 +1,177 @@
+"""Factories building every evaluated system in its §7.1 configuration.
+
+All systems share the same cluster and roofline cost model; only the
+parallelism layout and scheduling policy differ, matching how the paper
+configures its baselines on the 8-GPU testbed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.base import EngineServer
+from repro.baselines.distserve import DistServeServer
+from repro.baselines.no_scaleup import build_loongserve, build_no_scale_up_loongserve
+from repro.baselines.replicated import ReplicatedServer
+from repro.baselines.splitfuse import SplitFuseServer, ideal_chunk_size
+from repro.baselines.static_sp import StaticSPServer
+from repro.baselines.vllm import PrefillPriorityPolicy, VLLMServer
+from repro.config import default_config
+from repro.types import Request
+
+# DeepSpeed-MII crashes ("illegal memory access") past 32K-token prompts
+# (§7.1), so the paper only evaluates it on ShareGPT.
+DEEPSPEED_MII_INPUT_LIMIT = 32_768
+
+
+def build_vllm(num_gpus: int = 8, gpus_per_node: int = 8) -> VLLMServer:
+    """vLLM with TP spanning the whole node (TP=8)."""
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=num_gpus, gpus_per_node=gpus_per_node
+    )
+    return VLLMServer(config)
+
+
+def build_splitfuse(
+    requests: Sequence[Request] | None = None,
+    chunk_size: int | None = None,
+    num_gpus: int = 8,
+    gpus_per_node: int = 8,
+    deepspeed_mii: bool = False,
+) -> SplitFuseServer:
+    """Chunked prefill at TP=8, with SARATHI's oracle chunk size.
+
+    The paper grants LightLLM-SplitFuse the per-dataset ideal "P:D ratio"
+    chunk size; pass the workload's requests to compute it, or an explicit
+    ``chunk_size``.
+    """
+    if chunk_size is None:
+        if requests is None:
+            chunk_size = 2048
+        else:
+            chunk_size = ideal_chunk_size(requests)
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=num_gpus, gpus_per_node=gpus_per_node
+    )
+    if deepspeed_mii:
+        return SplitFuseServer(
+            config,
+            chunk_size=chunk_size,
+            crash_input_len=DEEPSPEED_MII_INPUT_LIMIT,
+            name="DeepSpeed MII (Dynamic SplitFuse)",
+        )
+    return SplitFuseServer(config, chunk_size=chunk_size)
+
+
+def build_distserve(num_gpus: int = 8, gpus_per_node: int = 8) -> DistServeServer:
+    """Prefill-decode disaggregation, DoP 4 + 4 on eight GPUs."""
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=num_gpus // 2, gpus_per_node=gpus_per_node
+    )
+    return DistServeServer(config)
+
+
+def build_static_sp(num_gpus: int = 8, gpus_per_node: int = 8) -> StaticSPServer:
+    """LoongServe w/o ESP: fixed TP=2 x SP=4 hybrid."""
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=2, gpus_per_node=gpus_per_node
+    )
+    return StaticSPServer(config)
+
+
+def build_replicated_tp2(num_gpus: int = 8, gpus_per_node: int = 8) -> ReplicatedServer:
+    """LoongServe w/o ESP (TP=2) x N: independent replicas, no KV sharing."""
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=2, gpus_per_node=gpus_per_node
+    )
+    engines = [
+        EngineServer(
+            config=config,
+            policy=PrefillPriorityPolicy(),
+            instance_ids=[i],
+            kv_slots=config.kv_slots_per_instance,
+            name="TP=2 replica",
+        )
+        for i in range(config.num_instances)
+    ]
+    return ReplicatedServer(engines, name=f"LoongServe w/o ESP (TP=2) x {len(engines)}")
+
+
+def build_vllm_per_node(num_gpus: int = 16, gpus_per_node: int = 8) -> ReplicatedServer:
+    """Multi-node vLLM: one TP=8 replica per server (Figure 11)."""
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=gpus_per_node, gpus_per_node=gpus_per_node
+    )
+    engines = [
+        EngineServer(
+            config=config,
+            policy=PrefillPriorityPolicy(),
+            instance_ids=[i],
+            kv_slots=config.kv_slots_per_instance,
+            name="vLLM",
+        )
+        for i in range(config.num_instances)
+    ]
+    return ReplicatedServer(engines, name="vLLM")
+
+
+def build_splitfuse_per_node(
+    requests: Sequence[Request] | None = None,
+    num_gpus: int = 16,
+    gpus_per_node: int = 8,
+) -> ReplicatedServer:
+    """Multi-node LightLLM-SplitFuse: one replica per server (Figure 11)."""
+    chunk = ideal_chunk_size(requests) if requests else 2048
+    config = default_config(
+        num_gpus=num_gpus, tensor_parallel=gpus_per_node, gpus_per_node=gpus_per_node
+    )
+    from repro.baselines.splitfuse import SplitFusePolicy
+
+    engines = [
+        EngineServer(
+            config=config,
+            policy=SplitFusePolicy(chunk_size=chunk),
+            instance_ids=[i],
+            kv_slots=config.kv_slots_per_instance,
+            name="LightLLM w/ SplitFuse",
+        )
+        for i in range(config.num_instances)
+    ]
+    return ReplicatedServer(engines, name="LightLLM w/ SplitFuse")
+
+
+def make_system(
+    name: str,
+    requests: Sequence[Request] | None = None,
+    num_gpus: int = 8,
+    gpus_per_node: int = 8,
+):
+    """Build any evaluated system by its paper name."""
+    builders = {
+        "loongserve": lambda: build_loongserve(
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+        ),
+        "loongserve-no-scaleup": lambda: build_no_scale_up_loongserve(
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+        ),
+        "vllm": lambda: build_vllm(num_gpus=num_gpus, gpus_per_node=gpus_per_node),
+        "deepspeed-mii": lambda: build_splitfuse(
+            requests, num_gpus=num_gpus, gpus_per_node=gpus_per_node, deepspeed_mii=True
+        ),
+        "splitfuse": lambda: build_splitfuse(
+            requests, num_gpus=num_gpus, gpus_per_node=gpus_per_node
+        ),
+        "distserve": lambda: build_distserve(
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+        ),
+        "static-sp": lambda: build_static_sp(
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+        ),
+        "replicated-tp2": lambda: build_replicated_tp2(
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+        ),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}; choose from {sorted(builders)}") from None

@@ -1,0 +1,20 @@
+"""Unified distributed KV cache pool (§4).
+
+LoongServe manages KV tensors at the granularity of a single token across
+elastic instances.  ``InstancePool`` accounts one instance's slots;
+``UnifiedKVPool`` provides the global view the manager schedules against,
+including token-level request placements that may span instances (the
+property that eliminates the Figure-4 fragmentation pathology).
+"""
+
+from repro.kvcache.migration import MigrationPlan, plan_eviction_migration
+from repro.kvcache.pool import InstancePool
+from repro.kvcache.unified import Placement, UnifiedKVPool
+
+__all__ = [
+    "InstancePool",
+    "MigrationPlan",
+    "Placement",
+    "UnifiedKVPool",
+    "plan_eviction_migration",
+]

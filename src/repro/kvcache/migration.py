@@ -1,0 +1,106 @@
+"""KV migration planning.
+
+LoongServe avoids migration on the scaling fast paths, but the allocation
+step (§5.2) still migrates occasionally: when the prefill phase preempts
+an instance, the evicted decode batch's KV moves to the surviving decode
+instances.  This module plans such moves and prices them with the
+communication model (Eq. 4's volume / avg_bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.comm import CollectiveModel
+from repro.kvcache.unified import UnifiedKVPool
+from repro.model.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """Move ``num_tokens`` of one request from ``src`` to ``dst``."""
+
+    request_id: int
+    src: int
+    dst: int
+    num_tokens: int
+
+
+@dataclass
+class MigrationPlan:
+    """An ordered set of migration steps plus the modelled time cost."""
+
+    steps: list[MigrationStep] = field(default_factory=list)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(s.num_tokens for s in self.steps)
+
+    def is_empty(self) -> bool:
+        return not self.steps
+
+    def apply(self, pool: UnifiedKVPool) -> None:
+        """Execute the bookkeeping moves against the unified pool."""
+        for step in self.steps:
+            pool.move(step.request_id, step.src, step.dst, step.num_tokens)
+
+    def cost(
+        self,
+        collectives: CollectiveModel,
+        model: ModelSpec,
+        tensor_parallel: int,
+    ) -> float:
+        """Wall-clock seconds, assuming steps between distinct pairs overlap
+        and steps sharing a source serialise."""
+        per_src: dict[int, float] = {}
+        for step in self.steps:
+            kv_bytes = step.num_tokens * model.kv_bytes_per_token
+            t = collectives.migration_time(kv_bytes, step.src, step.dst, tensor_parallel)
+            per_src[step.src] = per_src.get(step.src, 0.0) + t
+        return max(per_src.values(), default=0.0)
+
+
+def plan_eviction_migration(
+    pool: UnifiedKVPool,
+    vacate_instance: int,
+    target_instances: list[int],
+) -> MigrationPlan | None:
+    """Plan to empty one instance by moving its KV to targets.
+
+    Fills targets most-free-first (the paper: "target instances are always
+    instances with the most unused key-value cache slots").  Returns None
+    when the targets cannot absorb the vacated tokens.
+    """
+    targets = [t for t in target_instances if t != vacate_instance]
+    source_pool = pool.pools[vacate_instance]
+    to_move = source_pool.snapshot()
+    total = sum(to_move.values())
+    if total == 0:
+        return MigrationPlan()
+    capacity = sum(pool.pools[t].free for t in targets)
+    if capacity < total:
+        return None
+
+    plan = MigrationPlan()
+    free_left = {t: pool.pools[t].free for t in targets}
+    order = sorted(targets, key=lambda t: -free_left[t])
+    for request_id, tokens in sorted(to_move.items()):
+        remaining = tokens
+        for target in order:
+            if remaining == 0:
+                break
+            take = min(free_left[target], remaining)
+            if take > 0:
+                plan.steps.append(
+                    MigrationStep(
+                        request_id=request_id,
+                        src=vacate_instance,
+                        dst=target,
+                        num_tokens=take,
+                    )
+                )
+                free_left[target] -= take
+                remaining -= take
+        if remaining > 0:
+            return None
+    return plan

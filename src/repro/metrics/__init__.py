@@ -1,0 +1,16 @@
+"""Serving metrics: normalised latencies, SLO attainment, goodput."""
+
+from repro.metrics.latency import LatencySummary, summarize_latency
+from repro.metrics.slo import IdealLatencyModel, SLOReport, max_rate_under_slo, slo_report
+from repro.metrics.summary import scale_event_histogram, throughput_tokens_per_s
+
+__all__ = [
+    "IdealLatencyModel",
+    "LatencySummary",
+    "SLOReport",
+    "max_rate_under_slo",
+    "scale_event_histogram",
+    "slo_report",
+    "summarize_latency",
+    "throughput_tokens_per_s",
+]

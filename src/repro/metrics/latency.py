@@ -1,0 +1,68 @@
+"""Normalised latency metrics (§7.1 "Metrics").
+
+* normalised per-token latency — mean of end-to-end latency / sequence
+  length,
+* normalised input latency — mean of prefill-phase time / input length,
+* normalised output latency — mean of decode-phase time / output length.
+
+These are the three columns of Figures 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import Request, ServeResult
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean and tail statistics of the three normalised latencies."""
+
+    per_token: float
+    input_token: float
+    output_token: float
+    per_token_p90: float
+    finished: int
+    total: int
+
+    @property
+    def completion_rate(self) -> float:
+        return self.finished / self.total if self.total else 0.0
+
+
+def summarize_latency(result: ServeResult) -> LatencySummary:
+    """Aggregate a run's finished requests into the paper's metrics."""
+    finished = result.finished_requests
+    if not finished:
+        return LatencySummary(
+            per_token=float("inf"),
+            input_token=float("inf"),
+            output_token=float("inf"),
+            per_token_p90=float("inf"),
+            finished=0,
+            total=len(result.requests),
+        )
+    per_token = [r.normalized_latency for r in finished]
+    input_token = [r.normalized_input_latency for r in finished]
+    output_token = [
+        r.normalized_output_latency for r in finished if r.output_len > 1
+    ]
+    return LatencySummary(
+        per_token=float(np.mean(per_token)),
+        input_token=float(np.mean(input_token)),
+        output_token=float(np.mean(output_token)) if output_token else 0.0,
+        per_token_p90=float(np.percentile(per_token, 90)),
+        finished=len(finished),
+        total=len(result.requests),
+    )
+
+
+def mean_normalized_latency(requests: Sequence[Request]) -> float:
+    done = [r for r in requests if r.finished and r.finish_time is not None]
+    if not done:
+        return float("inf")
+    return float(np.mean([r.normalized_latency for r in done]))

@@ -1,0 +1,94 @@
+"""SLO attainment and goodput (§7.1, §7.4).
+
+The paper sets the latency SLO to 25x the inference latency — i.e. each
+request's deadline scales with its own no-load latency.  The ideal
+latency is computed from the cost model: prefill at the best available
+DoP plus one decode step per output token at the launch-time strategy.
+P90 goodput (Figures 12/13a) is the highest request rate at which at
+least 90% of requests meet their SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.costmodel.latency import RooflineCostModel
+from repro.types import Request, ServeResult
+
+DEFAULT_SLO_SCALE = 25.0
+
+
+@dataclass(frozen=True)
+class IdealLatencyModel:
+    """No-load latency of a request on an otherwise empty cluster."""
+
+    cost_model: RooflineCostModel
+    tensor_parallel: int
+    max_instances: int
+
+    def ideal_latency(self, request: Request) -> float:
+        instances = list(range(self.max_instances))
+        prefill = self.cost_model.prefill_time(
+            [request.input_len], instances, self.tensor_parallel
+        )
+        decode_steps = max(0, request.output_len - 1)
+        decode = 0.0
+        if decode_steps:
+            per_step = self.cost_model.decode_time(
+                [request.input_len + request.output_len // 2],
+                instances[:1],
+                self.tensor_parallel,
+            )
+            decode = decode_steps * per_step
+        return prefill + decode
+
+    def deadline(self, request: Request, scale: float = DEFAULT_SLO_SCALE) -> float:
+        return scale * self.ideal_latency(request)
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Attainment outcome of one run."""
+
+    attained: int
+    finished: int
+    total: int
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of all submitted requests that met their deadline.
+
+        Aborted/unfinished requests count as missed — a system that
+        cannot serve a request certainly misses its SLO.
+        """
+        return self.attained / self.total if self.total else 0.0
+
+
+def slo_report(
+    result: ServeResult,
+    ideal: IdealLatencyModel,
+    scale: float = DEFAULT_SLO_SCALE,
+) -> SLOReport:
+    finished = result.finished_requests
+    attained = 0
+    for request in finished:
+        if request.end_to_end_latency <= ideal.deadline(request, scale):
+            attained += 1
+    total = len(result.requests) + len(result.aborted)
+    return SLOReport(attained=attained, finished=len(finished), total=total)
+
+
+def max_rate_under_slo(
+    rates: Sequence[float],
+    attainments: Sequence[float],
+    target: float = 0.90,
+) -> float:
+    """P90 goodput: the highest swept rate whose attainment >= target.
+
+    Returns 0.0 when no swept rate meets the target.
+    """
+    if len(rates) != len(attainments):
+        raise ValueError("rates and attainments must align")
+    qualifying = [r for r, a in zip(rates, attainments) if a >= target]
+    return max(qualifying, default=0.0)

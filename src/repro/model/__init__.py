@@ -1,0 +1,31 @@
+"""Transformer model substrate: shapes, FLOP counts, and memory footprints.
+
+The paper serves LWM-1M-Text, which reuses the Llama-2-7B architecture with
+a 1M-token context window (§7.1).  These modules encode the architecture so
+that every cost and capacity the scheduler reasons about is derived from the
+real model shape rather than hard-coded constants.
+"""
+
+from repro.model.flops import decode_flops, prefill_flops
+from repro.model.memory import decode_read_bytes, kv_cache_bytes
+from repro.model.spec import (
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LWM_7B_1M,
+    MIXTRAL_8X7B,
+    AttentionKind,
+    ModelSpec,
+)
+
+__all__ = [
+    "AttentionKind",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "LWM_7B_1M",
+    "MIXTRAL_8X7B",
+    "ModelSpec",
+    "decode_flops",
+    "decode_read_bytes",
+    "kv_cache_bytes",
+    "prefill_flops",
+]

@@ -1,0 +1,43 @@
+"""FLOP accounting for prefill and decode iterations.
+
+The split between *linear* work (projections/FFN, proportional to tokens
+processed) and *attention* work (proportional to query x context pairs) is
+what makes prefill compute-bound and decode memory-bound — the asymmetry
+the whole paper exploits.
+"""
+
+from __future__ import annotations
+
+from repro.model.spec import ModelSpec
+
+
+def prefill_flops(model: ModelSpec, input_len: int) -> float:
+    """Total FLOPs to prefill one request of ``input_len`` tokens.
+
+    Causal attention halves the naive query x key product: token *i*
+    attends to *i* keys on average ``input_len / 2``.
+    """
+    if input_len <= 0:
+        raise ValueError("input_len must be positive")
+    linear = model.flops_per_token_linear() * input_len
+    attention = model.attention_flops(input_len, input_len / 2)
+    return linear + attention
+
+
+def decode_flops(model: ModelSpec, context_len: int) -> float:
+    """FLOPs to decode one token given ``context_len`` tokens of KV cache."""
+    if context_len < 0:
+        raise ValueError("context_len must be non-negative")
+    linear = model.flops_per_token_linear()
+    attention = model.attention_flops(1, context_len)
+    return linear + attention
+
+
+def batch_prefill_flops(model: ModelSpec, input_lens: list[int]) -> float:
+    """Total FLOPs of a prefill batch (requests are independent)."""
+    return sum(prefill_flops(model, n) for n in input_lens)
+
+
+def batch_decode_flops(model: ModelSpec, context_lens: list[int]) -> float:
+    """Total FLOPs of one decode iteration over a batch."""
+    return sum(decode_flops(model, n) for n in context_lens)

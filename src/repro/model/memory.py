@@ -1,0 +1,52 @@
+"""Byte accounting: KV cache sizes and decode-iteration memory traffic.
+
+Decode iterations are memory-bandwidth-bound at small batch sizes because
+every iteration must stream the full weight matrix plus the KV cache of
+every request in the batch.  These byte counts feed the roofline model.
+"""
+
+from __future__ import annotations
+
+from repro.model.spec import ModelSpec
+
+
+def kv_cache_bytes(model: ModelSpec, num_tokens: int) -> int:
+    """Bytes of KV cache held by ``num_tokens`` tokens."""
+    if num_tokens < 0:
+        raise ValueError("num_tokens must be non-negative")
+    return num_tokens * model.kv_bytes_per_token
+
+
+def weight_read_bytes(model: ModelSpec) -> int:
+    """Bytes of weights streamed once per iteration."""
+    return model.weight_bytes
+
+
+def decode_read_bytes(model: ModelSpec, context_lens: list[int]) -> float:
+    """HBM bytes read by one decode iteration over a batch.
+
+    Weights are read once (shared across the batch); each request
+    additionally reads its own KV cache.
+    """
+    kv = sum(kv_cache_bytes(model, n) for n in context_lens)
+    return weight_read_bytes(model) + kv
+
+
+def prefill_read_bytes(model: ModelSpec, input_lens: list[int]) -> float:
+    """HBM bytes read by one prefill iteration (weights + activations).
+
+    Prefill is compute-bound for realistic lengths; weights dominate the
+    traffic for short batches, activations for long ones.  Activation
+    traffic is approximated as one read+write of the hidden states per
+    layer.
+    """
+    total_tokens = sum(input_lens)
+    activations = 2 * total_tokens * model.hidden_size * model.dtype_bytes * model.num_layers
+    return weight_read_bytes(model) + activations
+
+
+def max_tokens_in_memory(model: ModelSpec, budget_bytes: float) -> int:
+    """Largest number of KV tokens that fit in ``budget_bytes``."""
+    if budget_bytes < 0:
+        raise ValueError("budget must be non-negative")
+    return int(budget_bytes // model.kv_bytes_per_token)

@@ -1,0 +1,13 @@
+"""Parallelism abstractions: TPxSP strategies, ESP groups, scaling plans."""
+
+from repro.parallel.esp import ScaleDownPlan, ScaleUpPlan, ScalingPlan
+from repro.parallel.groups import ParallelGroup
+from repro.parallel.strategy import ParallelismStrategy
+
+__all__ = [
+    "ParallelGroup",
+    "ParallelismStrategy",
+    "ScaleDownPlan",
+    "ScaleUpPlan",
+    "ScalingPlan",
+]

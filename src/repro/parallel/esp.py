@@ -1,0 +1,87 @@
+"""Elastic scaling plan structures (§4, §5.4).
+
+A :class:`ScalingPlan` tells the elasticity controller how a batch's
+parallel group changes after the current iteration:
+
+* :class:`ScaleDownPlan` — proactive scale-down during prefill: the
+  surviving instances retain KV tensors as they circulate through the
+  ring, so the plan carries a token-level *placement* (tokens per kept
+  instance) and no migration cost.
+* :class:`ScaleUpPlan` — decode scale-up: new instances join the group and
+  may be promoted to masters; existing KV never moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleDownPlan:
+    """Proactive scale-down: keep ``placement.keys()``, drop the rest.
+
+    ``placement`` maps surviving instance id -> number of KV tokens it
+    retains once the prefill's ring circulation completes.  Because every
+    instance sees every KV shard during striped attention, *any*
+    token-level split is realisable at zero extra communication (§4.1).
+    """
+
+    group_before: tuple[int, ...]
+    placement: dict[int, int]
+
+    def __post_init__(self) -> None:
+        if not self.placement:
+            raise ValueError("scale-down must keep at least one instance")
+        stray = set(self.placement) - set(self.group_before)
+        if stray:
+            raise ValueError(f"placement targets {sorted(stray)} outside the group")
+        if any(v < 0 for v in self.placement.values()):
+            raise ValueError("placement token counts must be non-negative")
+
+    @property
+    def group_after(self) -> tuple[int, ...]:
+        return tuple(sorted(self.placement))
+
+    @property
+    def released(self) -> tuple[int, ...]:
+        return tuple(i for i in self.group_before if i not in self.placement)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(self.placement.values())
+
+    @property
+    def migration_tokens(self) -> int:
+        """Tokens moved by extra communication — always zero (the point)."""
+        return 0
+
+
+@dataclass(frozen=True)
+class ScaleUpPlan:
+    """Decode scale-up: add instances, optionally promote masters."""
+
+    group_before: tuple[int, ...]
+    new_instances: tuple[int, ...]
+    masters_after: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.new_instances) & set(self.group_before)
+        if overlap:
+            raise ValueError(f"instances {sorted(overlap)} already in group")
+        if not self.masters_after:
+            raise ValueError("scale-up must designate at least one master")
+        stray = set(self.masters_after) - set(self.group_after)
+        if stray:
+            raise ValueError(f"masters {sorted(stray)} outside the scaled group")
+
+    @property
+    def group_after(self) -> tuple[int, ...]:
+        return self.group_before + self.new_instances
+
+    @property
+    def migration_tokens(self) -> int:
+        """Existing KV tensors never move on scale-up (§4.2)."""
+        return 0
+
+
+ScalingPlan = ScaleDownPlan | ScaleUpPlan

@@ -1,0 +1,87 @@
+"""The simulation run loop."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.events import EventQueue, Timer
+
+
+class Simulator:
+    """A virtual clock plus an event queue.
+
+    Serving systems schedule callbacks with :meth:`call_at` /
+    :meth:`call_after`; :meth:`run` drains the queue in timestamp order.
+    The clock never goes backwards; scheduling in the past raises.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._stopped = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def call_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Timer:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time:.6f}, clock is at {self._now:.6f}")
+        event = self._queue.push(time, action, priority=priority, label=label)
+        return Timer(event=event)
+
+    def call_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Timer:
+        """Schedule ``action`` after a relative delay."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, action, priority=priority, label=label)
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the queue drains, ``until`` passes, or
+        ``max_events`` fire.  Returns the final clock value."""
+        self._stopped = False
+        processed = 0
+        while self._queue and not self._stopped:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            timer_cancelled = getattr(event, "_cancelled", False)
+            if not timer_cancelled:
+                event.action()
+            self._events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        if until is not None and not self._queue and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Drain every event; guard against runaway loops."""
+        return self.run(max_events=max_events)

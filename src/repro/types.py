@@ -1,0 +1,190 @@
+"""Shared value types used across the LoongServe reproduction.
+
+The vocabulary here follows the paper: a *request* flows through a *prefill*
+phase (all input tokens processed in one iteration) and then a *decoding*
+phase (one output token per iteration).  Requests are grouped into *batches*,
+each batch is executed by a *parallel group* of elastic instances with some
+*degree of parallelism* (DoP).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class Phase(enum.Enum):
+    """Execution phase of a request."""
+
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+class RequestState(enum.Enum):
+    """Lifecycle state of a request inside a serving system.
+
+    ``PENDING``    — arrived, waiting in the global queue.
+    ``PREFILLING`` — selected for the current prefill iteration.
+    ``DECODING``   — producing output tokens, one per iteration.
+    ``PREEMPTED``  — evicted from GPU memory; must re-run prefill.
+    ``FINISHED``   — all output tokens produced.
+    """
+
+    PENDING = "pending"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+_request_ids = itertools.count()
+
+
+def next_request_id() -> int:
+    """Return a process-unique monotonically increasing request id."""
+    return next(_request_ids)
+
+
+@dataclass
+class Request:
+    """A single inference request.
+
+    ``input_len`` and ``output_len`` are token counts.  ``max_tokens`` is the
+    user-declared output cap used by the scheduler's eviction-avoidance
+    estimate (§5.1); it defaults to the true output length, which models a
+    well-behaved client.
+    """
+
+    request_id: int
+    input_len: int
+    output_len: int
+    arrival_time: float = 0.0
+    max_tokens: int | None = None
+
+    state: RequestState = RequestState.PENDING
+    generated: int = 0
+
+    prefill_start: float | None = None
+    prefill_end: float | None = None
+    finish_time: float | None = None
+    first_token_time: float | None = None
+    preemptions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_len <= 0:
+            raise ValueError(f"input_len must be positive, got {self.input_len}")
+        if self.output_len <= 0:
+            raise ValueError(f"output_len must be positive, got {self.output_len}")
+        if self.max_tokens is None:
+            self.max_tokens = self.output_len
+
+    @property
+    def current_len(self) -> int:
+        """Tokens currently resident in the KV cache for this request."""
+        return self.input_len + self.generated
+
+    @property
+    def max_total_len(self) -> int:
+        """Worst-case total sequence length (input + declared output cap)."""
+        return self.input_len + (self.max_tokens or self.output_len)
+
+    @property
+    def finished(self) -> bool:
+        return self.state == RequestState.FINISHED
+
+    @property
+    def phase(self) -> Phase:
+        return Phase.PREFILL if self.generated == 0 else Phase.DECODE
+
+    def record_first_token(self, now: float) -> None:
+        if self.first_token_time is None:
+            self.first_token_time = now
+
+    # -- derived latency metrics -------------------------------------------
+
+    @property
+    def end_to_end_latency(self) -> float:
+        """Arrival to completion, in seconds.  Requires ``finished``."""
+        if self.finish_time is None:
+            raise ValueError(f"request {self.request_id} not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def prefill_latency(self) -> float:
+        """Arrival to the end of the (last) prefill iteration."""
+        if self.prefill_end is None:
+            raise ValueError(f"request {self.request_id} never prefilled")
+        return self.prefill_end - self.arrival_time
+
+    @property
+    def decode_latency(self) -> float:
+        """Time spent between prefill completion and final token."""
+        if self.finish_time is None or self.prefill_end is None:
+            raise ValueError(f"request {self.request_id} not finished")
+        return self.finish_time - self.prefill_end
+
+    @property
+    def normalized_latency(self) -> float:
+        """End-to-end latency divided by total sequence length (s/token)."""
+        return self.end_to_end_latency / (self.input_len + self.output_len)
+
+    @property
+    def normalized_input_latency(self) -> float:
+        """Prefill latency divided by input length (s/token)."""
+        return self.prefill_latency / self.input_len
+
+    @property
+    def normalized_output_latency(self) -> float:
+        """Decode latency divided by output length (s/token)."""
+        return self.decode_latency / self.output_len
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Summary of one executed iteration, used for accounting and traces."""
+
+    iteration: int
+    phase: Phase
+    batch_size: int
+    total_tokens: int
+    dop: int
+    duration: float
+    start_time: float
+
+
+@dataclass
+class ScalingEvent:
+    """A recorded elastic scaling action (for the Figure 13 frequency plot)."""
+
+    time: float
+    kind: str  # "scale_up" | "scale_down"
+    group_before: tuple[int, ...]
+    group_after: tuple[int, ...]
+    batch_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("scale_up", "scale_down"):
+            raise ValueError(f"unknown scaling kind {self.kind!r}")
+
+
+@dataclass
+class ServeResult:
+    """Output of one serving-system run over a workload trace."""
+
+    system: str
+    requests: list[Request] = field(default_factory=list)
+    scaling_events: list[ScalingEvent] = field(default_factory=list)
+    iteration_stats: list[BatchStats] = field(default_factory=list)
+    makespan: float = 0.0
+    aborted: list[Request] = field(default_factory=list)
+
+    @property
+    def finished_requests(self) -> list[Request]:
+        return [r for r in self.requests if r.finished]
+
+    @property
+    def completed_fraction(self) -> float:
+        if not self.requests:
+            return 0.0
+        return len(self.finished_requests) / len(self.requests)

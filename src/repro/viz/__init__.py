@@ -1,0 +1,5 @@
+"""Text-mode visualisation of serving runs."""
+
+from repro.viz.timeline import occupancy_timeline, utilization_summary
+
+__all__ = ["occupancy_timeline", "utilization_summary"]

@@ -1,0 +1,34 @@
+"""Workload generation: dataset length distributions and arrival processes.
+
+The paper samples request input/output lengths from ShareGPT, L-Eval, and
+LV-Eval and draws arrivals from a Poisson process (§7.1).  The datasets
+themselves are not redistributable here, so each is modelled as a
+length distribution matched to the published ranges and task shapes; the
+Mixed workload and the Zipf-skewed sampling for the Figure 12 ablation
+are built on top.
+"""
+
+from repro.workloads.arrival import PoissonArrivals
+from repro.workloads.datasets import (
+    DATASETS,
+    LengthDistribution,
+    LEVAL,
+    LVEVAL,
+    MIXED,
+    SHAREGPT,
+    ZipfMixed,
+)
+from repro.workloads.trace_gen import clone_requests, make_trace
+
+__all__ = [
+    "DATASETS",
+    "LEVAL",
+    "LVEVAL",
+    "LengthDistribution",
+    "MIXED",
+    "PoissonArrivals",
+    "SHAREGPT",
+    "ZipfMixed",
+    "clone_requests",
+    "make_trace",
+]

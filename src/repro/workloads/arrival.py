@@ -1,0 +1,43 @@
+"""Arrival processes.
+
+The paper generates arrivals with a Poisson process (§7.1); a fixed-gap
+process is provided for deterministic tests and overhead microbenches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Exponential inter-arrival gaps at ``rate`` requests/second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+
+    def times(self, count: int, rng: np.random.Generator) -> list[float]:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        gaps = rng.exponential(1.0 / self.rate, size=count)
+        return np.cumsum(gaps).tolist()
+
+
+@dataclass(frozen=True)
+class UniformArrivals:
+    """Deterministic fixed-gap arrivals at ``rate`` requests/second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {self.rate}")
+
+    def times(self, count: int, rng: np.random.Generator | None = None) -> list[float]:
+        gap = 1.0 / self.rate
+        return [gap * (i + 1) for i in range(count)]

@@ -1,0 +1,78 @@
+"""Trace serialization: save and reload workload traces as JSON lines.
+
+Real serving evaluations replay *recorded* traces; this module gives the
+reproduction the same workflow — generate once, commit/share the file,
+replay identically across systems and machines (float-exact, since JSON
+round-trips the decimal repr of arrival times).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.types import Request
+
+_FIELDS = ("request_id", "input_len", "output_len", "arrival_time", "max_tokens")
+
+
+def trace_to_records(requests: Sequence[Request]) -> list[dict]:
+    """Workload-defining fields only (no runtime state)."""
+    return [
+        {
+            "request_id": r.request_id,
+            "input_len": r.input_len,
+            "output_len": r.output_len,
+            "arrival_time": r.arrival_time,
+            "max_tokens": r.max_tokens,
+        }
+        for r in requests
+    ]
+
+
+def records_to_trace(records: Iterable[dict]) -> list[Request]:
+    requests = []
+    for record in records:
+        missing = [f for f in _FIELDS if f not in record and f != "max_tokens"]
+        if missing:
+            raise ValueError(f"trace record missing fields {missing}: {record}")
+        requests.append(
+            Request(
+                request_id=int(record["request_id"]),
+                input_len=int(record["input_len"]),
+                output_len=int(record["output_len"]),
+                arrival_time=float(record["arrival_time"]),
+                max_tokens=(
+                    int(record["max_tokens"])
+                    if record.get("max_tokens") is not None
+                    else None
+                ),
+            )
+        )
+    requests.sort(key=lambda r: r.arrival_time)
+    return requests
+
+
+def save_trace(requests: Sequence[Request], path: str | Path) -> None:
+    """Write one JSON object per line (jsonl)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in trace_to_records(requests):
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: str | Path) -> list[Request]:
+    """Read a jsonl trace back into fresh Request objects."""
+    path = Path(path)
+    records = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
+    return records_to_trace(records)

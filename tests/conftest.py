@@ -1,0 +1,41 @@
+"""Shared fixtures: a small cluster, cost model, and workload helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import SystemConfig, default_config
+from repro.costmodel.latency import RooflineCostModel
+from repro.model.spec import LWM_7B_1M
+from repro.types import Request, next_request_id
+
+
+@pytest.fixture(scope="session")
+def cluster8() -> Cluster:
+    return Cluster.homogeneous(num_gpus=8)
+
+
+@pytest.fixture(scope="session")
+def cost_model(cluster8: Cluster) -> RooflineCostModel:
+    return RooflineCostModel(cluster=cluster8, model=LWM_7B_1M)
+
+
+@pytest.fixture(scope="session")
+def config8() -> SystemConfig:
+    return default_config(num_gpus=8, tensor_parallel=2)
+
+
+def make_request(
+    input_len: int = 100,
+    output_len: int = 10,
+    arrival: float = 0.0,
+    max_tokens: int | None = None,
+) -> Request:
+    return Request(
+        request_id=next_request_id(),
+        input_len=input_len,
+        output_len=output_len,
+        arrival_time=arrival,
+        max_tokens=max_tokens,
+    )

@@ -1,0 +1,67 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestServeCLI:
+    def test_serve_prints_metrics(self, capsys):
+        code = repro_main(
+            ["serve", "--system", "loongserve", "--dataset", "sharegpt",
+             "--rate", "5", "-n", "10", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests: 10/10 finished" in out
+        assert "per-token" in out
+
+    def test_serve_with_timeline(self, capsys):
+        code = repro_main(
+            ["serve", "--dataset", "sharegpt", "--rate", "5", "-n", "5",
+             "--timeline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "utilization:" in out
+        assert "P = prefill" in out
+
+    def test_gen_trace_then_replay(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert repro_main(
+            ["gen-trace", "--dataset", "mixed", "--rate", "1", "-n", "8",
+             "-o", str(path)]
+        ) == 0
+        assert path.exists()
+        assert repro_main(
+            ["serve", "--system", "vllm", "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vLLM" in out
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            repro_main(["serve", "--system", "magic"])
+
+
+class TestExperimentsCLI:
+    def test_figure2_runs(self, capsys):
+        assert experiments_main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "paper anchor" in out
+
+    def test_figure14_runs(self, capsys):
+        assert experiments_main(["figure14"]) == 0
+        out = capsys.readouterr().out
+        assert "proactive" in out
+
+    def test_figure15_runs(self, capsys):
+        assert experiments_main(["figure15"]) == 0
+        out = capsys.readouterr().out
+        assert "max deviation" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["figure99"])

@@ -1,0 +1,151 @@
+"""Tests for the roofline cost model and communication primitives.
+
+Property-style tests assert the monotonicity and crossover behaviours the
+paper's figures depend on, plus the published anchors.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import Topology
+from repro.costmodel.comm import CollectiveModel
+from repro.costmodel.latency import RooflineCostModel
+from repro.model.spec import LWM_7B_1M
+
+
+@pytest.fixture(scope="module")
+def cm() -> RooflineCostModel:
+    return RooflineCostModel(cluster=Cluster.homogeneous(num_gpus=8), model=LWM_7B_1M)
+
+
+@pytest.fixture(scope="module")
+def coll() -> CollectiveModel:
+    return CollectiveModel(cluster=Cluster.homogeneous(num_gpus=16, gpus_per_node=8))
+
+
+class TestCollectives:
+    def test_allreduce_zero_for_world_one(self, coll):
+        assert coll.allreduce_time(1e9, 1, Topology(8, 8).nvlink) == 0.0
+
+    def test_allreduce_grows_with_bytes(self, coll):
+        link = Topology(8, 8).nvlink
+        assert coll.allreduce_time(2e9, 4, link) > coll.allreduce_time(1e9, 4, link)
+
+    def test_ring_pass_single_instance_free(self, coll):
+        assert coll.ring_pass_time(1e9, [0], tensor_parallel=2) == 0.0
+
+    def test_ring_pass_cross_node_slower(self, coll):
+        intra = coll.ring_pass_time(1e9, [0, 1], tensor_parallel=2)
+        inter = coll.ring_pass_time(1e9, [0, 4], tensor_parallel=2)
+        assert inter > intra
+
+    def test_migration_time_linear_in_bytes(self, coll):
+        t1 = coll.migration_time(1e9, 0, 1, tensor_parallel=2)
+        t2 = coll.migration_time(2e9, 0, 1, tensor_parallel=2)
+        assert t2 > t1
+        assert t2 < 2.1 * t1
+
+    def test_zero_byte_migration_free(self, coll):
+        assert coll.migration_time(0, 0, 1, tensor_parallel=2) == 0.0
+
+
+class TestPrefillRoofline:
+    def test_paper_100k_vs_1k_anchor(self, cm):
+        """Figure 2: 100K-token prefill is ~two orders slower than 1K."""
+        ratio = cm.prefill_time([100_000], 4, 2) / cm.prefill_time([1_000], 4, 2)
+        assert 50 < ratio < 400
+
+    def test_more_instances_faster_for_long_prompts(self, cm):
+        t1 = cm.prefill_time([100_000], 1, 2)
+        t4 = cm.prefill_time([100_000], 4, 2)
+        assert t4 < t1
+
+    def test_short_prompts_do_not_scale(self, cm):
+        """Figure 2 top-left: tiny batches gain little from more GPUs."""
+        t1 = cm.prefill_time([10] * 16, instances=1, tensor_parallel=2)
+        t4 = cm.prefill_time([10] * 16, instances=1, tensor_parallel=8)
+        assert t4 > 0.5 * t1  # nowhere near 4x
+
+    def test_sp_competitive_with_tp(self, cm):
+        """Figure 3: SP4TP2 matches or beats SP1TP8 on the paper's grid."""
+        for bs, length in [(512, 1_000), (16, 50_000), (1, 500_000)]:
+            tp8 = cm.prefill_time([length] * bs, 1, 8)
+            sp4 = cm.prefill_time([length] * bs, 4, 2)
+            assert sp4 <= tp8 * 1.05
+
+    def test_empty_batch_zero(self, cm):
+        assert cm.prefill_time([], 4, 2) == 0.0
+
+    @given(length=st.integers(min_value=16, max_value=400_000))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_length(self, cm, length):
+        assert cm.prefill_time([length + 1024], 4, 2) > cm.prefill_time([length], 4, 2)
+
+    @given(bs=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_batch_size(self, cm, bs):
+        t_small = cm.prefill_time([512] * bs, 4, 2)
+        t_large = cm.prefill_time([512] * (bs + 1), 4, 2)
+        assert t_large > t_small
+
+
+class TestDecodeRoofline:
+    def test_decode_floor_is_weight_read(self, cm):
+        floor = cm.decode_step_lower_bound(tensor_parallel=2)
+        assert cm.decode_time([100], 1, 2) >= floor
+
+    def test_long_context_decode_scales_with_instances(self, cm):
+        """Figure 2 bottom: decode gains from DoP only at long context."""
+        t1 = cm.decode_time([200_000], 1, 2)
+        t4 = cm.decode_time([200_000], 4, 2)
+        assert t4 < t1
+        short1 = cm.decode_time([100], 1, 2)
+        short4 = cm.decode_time([100], 4, 2)
+        assert short4 > 0.9 * short1  # no real gain, some overhead
+
+    def test_multi_master_helps_large_batch(self, cm):
+        """Figure 14b: masters split linear work at large batch sizes."""
+        t1 = cm.decode_time([10] * 1024, 4, 2, num_masters=1)
+        t4 = cm.decode_time([10] * 1024, 4, 2, num_masters=4)
+        assert t1 / t4 > 1.5
+
+    def test_multi_master_harmless_small_batch(self, cm):
+        """Figure 14b: scale-up overhead stays small for tiny batches."""
+        t1 = cm.decode_time([200_000], 4, 2, num_masters=1)
+        t4 = cm.decode_time([200_000], 4, 2, num_masters=4)
+        assert abs(t4 - t1) / t1 < 0.10
+
+    def test_empty_batch_zero(self, cm):
+        assert cm.decode_time([], 4, 2) == 0.0
+
+    @given(bs=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_batch(self, cm, bs):
+        assert cm.decode_time([500] * (bs + 1), 2, 2) > cm.decode_time([500] * bs, 2, 2)
+
+
+class TestFusedIteration:
+    def test_pure_prefill_equals_prefill(self, cm):
+        fused = cm.fused_iteration_time([(5_000, 0)], [], [0, 1], 2)
+        plain = cm.prefill_time([5_000], [0, 1], 2)
+        assert fused == pytest.approx(plain)
+
+    def test_chunked_prefill_total_attention_preserved(self, cm):
+        """Chunks re-read weights each iteration -> fused total exceeds
+        the single whole-prompt iteration (SplitFuse's inefficiency)."""
+        whole = cm.prefill_time([32_768], 1, 8)
+        chunks = sum(
+            cm.fused_iteration_time([(2_048, i * 2_048)], [], 1, 8)
+            for i in range(16)
+        )
+        assert chunks > whole
+
+    def test_fused_decode_slower_than_pure_decode(self, cm):
+        pure = cm.decode_time([1_000] * 8, 1, 8)
+        fused = cm.fused_iteration_time([(2_048, 0)], [1_000] * 8, 1, 8)
+        assert fused > pure
+
+    def test_migration_time_positive(self, cm):
+        assert cm.migration_time(10_000, 0, 1, 2) > 0.0

@@ -1,0 +1,185 @@
+"""Equivalence tests for single-/multi-master distributed decoding (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.decode import DistributedDecoder
+from repro.engine.instance import FunctionalInstance
+from repro.engine.reference import ReferenceTransformer, next_token_embedding
+from repro.engine.striped import striped_prefill
+from repro.engine.weights import TransformerWeights
+
+
+def make_weights(seed: int = 0, num_kv_heads: int = 2) -> TransformerWeights:
+    return TransformerWeights.random(
+        hidden_size=32, num_heads=4, num_kv_heads=num_kv_heads, num_layers=2, seed=seed
+    )
+
+
+def make_instances(weights: TransformerWeights, count: int) -> list[FunctionalInstance]:
+    return [
+        FunctionalInstance(i, weights.num_layers, weights.num_kv_heads, weights.head_dim)
+        for i in range(count)
+    ]
+
+
+def generate_reference(weights, x, steps):
+    ref = ReferenceTransformer(weights)
+    hidden, cache = ref.prefill(x)
+    outputs = [hidden[-1]]
+    for _ in range(steps):
+        outputs.append(ref.decode_step(next_token_embedding(outputs[-1]), cache))
+    return outputs
+
+
+class TestSingleMasterDecoding:
+    @pytest.mark.parametrize("sp", [1, 2, 3])
+    def test_matches_reference_over_steps(self, sp):
+        weights = make_weights()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((9, weights.hidden_size))
+        expected = generate_reference(weights, x, steps=5)
+
+        instances = make_instances(weights, sp)
+        run = striped_prefill(weights, x, instances, request_id=0)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        outputs = [run.last_hidden]
+        for _ in range(5):
+            result = decoder.decode_step(
+                {0: next_token_embedding(outputs[-1])}, masters={0: 0}
+            )
+            outputs.append(result.hidden[0])
+        for got, want in zip(outputs, expected):
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_new_kv_stays_on_master(self):
+        weights = make_weights()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((6, weights.hidden_size))
+        instances = make_instances(weights, 2)
+        run = striped_prefill(weights, x, instances, request_id=0)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        before = instances[1].tokens_held(0)
+        decoder.decode_step({0: next_token_embedding(run.last_hidden)}, masters={0: 1})
+        assert instances[1].tokens_held(0) == before + 1
+        assert decoder.request_length(0) == 7
+
+    def test_no_kv_migration_ever(self):
+        weights = make_weights()
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((5, weights.hidden_size))
+        instances = make_instances(weights, 2)
+        run = striped_prefill(weights, x, instances, request_id=0)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        result = decoder.decode_step(
+            {0: next_token_embedding(run.last_hidden)}, masters={0: 0}
+        )
+        assert result.kv_migrated_tokens == 0
+
+    def test_missing_master_raises(self):
+        weights = make_weights()
+        decoder = DistributedDecoder(weights=weights, instances=make_instances(weights, 1))
+        with pytest.raises(ValueError):
+            decoder.decode_step({0: np.zeros(weights.hidden_size)}, masters={})
+
+
+class TestMultiMasterDecoding:
+    def test_batch_requests_match_reference(self):
+        """Two requests mastered by different instances, both exact."""
+        weights = make_weights(seed=5)
+        rng = np.random.default_rng(3)
+        xa = rng.standard_normal((7, weights.hidden_size))
+        xb = rng.standard_normal((11, weights.hidden_size))
+        expected_a = generate_reference(weights, xa, steps=3)
+        expected_b = generate_reference(weights, xb, steps=3)
+
+        instances = make_instances(weights, 2)
+        run_a = striped_prefill(weights, xa, instances, request_id=10)
+        run_b = striped_prefill(weights, xb, instances, request_id=11)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        outs_a, outs_b = [run_a.last_hidden], [run_b.last_hidden]
+        for _ in range(3):
+            result = decoder.decode_step(
+                {
+                    10: next_token_embedding(outs_a[-1]),
+                    11: next_token_embedding(outs_b[-1]),
+                },
+                masters={10: 0, 11: 1},
+            )
+            outs_a.append(result.hidden[10])
+            outs_b.append(result.hidden[11])
+        for got, want in zip(outs_a, expected_a):
+            np.testing.assert_allclose(got, want, atol=1e-9)
+        for got, want in zip(outs_b, expected_b):
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_masters_store_their_own_requests(self):
+        weights = make_weights()
+        rng = np.random.default_rng(4)
+        instances = make_instances(weights, 2)
+        xa = rng.standard_normal((4, weights.hidden_size))
+        xb = rng.standard_normal((4, weights.hidden_size))
+        run_a = striped_prefill(weights, xa, instances, request_id=1)
+        run_b = striped_prefill(weights, xb, instances, request_id=2)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        decoder.decode_step(
+            {
+                1: next_token_embedding(run_a.last_hidden),
+                2: next_token_embedding(run_b.last_hidden),
+            },
+            masters={1: 0, 2: 1},
+        )
+        assert instances[0].shard(1, 0).positions.max() == 4
+        assert instances[1].shard(2, 0).positions.max() == 4
+
+
+class TestElasticScaleUp:
+    def test_scale_up_mid_generation_stays_exact(self):
+        """§4.2: new instances join with zero KV movement and the output
+        stream is unchanged."""
+        weights = make_weights(seed=7)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((8, weights.hidden_size))
+        expected = generate_reference(weights, x, steps=6)
+
+        instances = make_instances(weights, 2)
+        run = striped_prefill(weights, x, instances, request_id=0)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        outputs = [run.last_hidden]
+        for step in range(6):
+            if step == 3:  # scale up mid-stream
+                extra = FunctionalInstance(
+                    99, weights.num_layers, weights.num_kv_heads, weights.head_dim
+                )
+                decoder.scale_up([extra])
+                # The new master stores subsequent KV locally.
+                masters = {0: 99}
+            else:
+                masters = {0: 0}
+            result = decoder.decode_step(
+                {0: next_token_embedding(outputs[-1])}, masters=masters
+            )
+            outputs.append(result.hidden[0])
+        for got, want in zip(outputs, expected):
+            np.testing.assert_allclose(got, want, atol=1e-9)
+        assert decoder.placement_of(0).get(99, 0) >= 1
+
+    def test_scale_up_rejects_duplicate(self):
+        weights = make_weights()
+        instances = make_instances(weights, 2)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        with pytest.raises(ValueError):
+            decoder.scale_up([instances[0]])
+
+    def test_query_messages_counted(self):
+        weights = make_weights()
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((6, weights.hidden_size))
+        instances = make_instances(weights, 3)
+        run = striped_prefill(weights, x, instances, request_id=0)
+        decoder = DistributedDecoder(weights=weights, instances=instances)
+        result = decoder.decode_step(
+            {0: next_token_embedding(run.last_hidden)}, masters={0: 0}
+        )
+        # 2 peers x 2 layers x (query out + partial back) = 8 messages.
+        assert result.query_messages == 8

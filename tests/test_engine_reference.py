@@ -1,0 +1,173 @@
+"""Tests for the serial reference transformer (the correctness oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.reference import (
+    ReferenceTransformer,
+    causal_attention,
+    next_token_embedding,
+)
+from repro.engine.softmax import OnlineSoftmax
+from repro.engine.weights import TransformerWeights, rmsnorm, rope_rotate
+
+
+@pytest.fixture(scope="module")
+def weights() -> TransformerWeights:
+    return TransformerWeights.random(hidden_size=32, num_heads=4, num_layers=2, seed=0)
+
+
+class TestPrimitives:
+    def test_rmsnorm_unit_scale(self):
+        x = np.array([[3.0, 4.0]])
+        out = rmsnorm(x, np.ones(2))
+        assert np.abs(np.mean(out**2) - 1.0) < 1e-3
+
+    def test_rope_preserves_norm(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 2, 8))
+        rotated = rope_rotate(x, np.arange(5))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1), atol=1e-10
+        )
+
+    def test_rope_position_zero_is_identity(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 8))
+        np.testing.assert_allclose(rope_rotate(x, np.array([0])), x, atol=1e-12)
+
+    def test_rope_rejects_odd_head_dim(self):
+        with pytest.raises(ValueError):
+            rope_rotate(np.zeros((1, 1, 7)), np.array([0]))
+
+    def test_causal_attention_masks_future(self):
+        """Changing a future token must not change an earlier output."""
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((3, 2, 8))
+        k = rng.standard_normal((3, 2, 8))
+        v = rng.standard_normal((3, 2, 8))
+        positions = np.arange(3)
+        base = causal_attention(q, k, v, positions, positions)
+        k2, v2 = k.copy(), v.copy()
+        k2[2] += 1.0
+        v2[2] -= 1.0
+        perturbed = causal_attention(q, k2, v2, positions, positions)
+        np.testing.assert_allclose(base[:2], perturbed[:2], atol=1e-12)
+        assert not np.allclose(base[2], perturbed[2])
+
+
+class TestReferenceTransformer:
+    def test_prefill_shapes(self, weights):
+        ref = ReferenceTransformer(weights)
+        x = np.random.default_rng(0).standard_normal((9, 32))
+        hidden, cache = ref.prefill(x)
+        assert hidden.shape == (9, 32)
+        assert cache.num_tokens == 9
+        assert len(cache.layers) == weights.num_layers
+
+    def test_prefill_rejects_wrong_width(self, weights):
+        ref = ReferenceTransformer(weights)
+        with pytest.raises(ValueError):
+            ref.prefill(np.zeros((4, 33)))
+
+    def test_decode_step_appends_cache(self, weights):
+        ref = ReferenceTransformer(weights)
+        rng = np.random.default_rng(1)
+        _, cache = ref.prefill(rng.standard_normal((5, 32)))
+        ref.decode_step(rng.standard_normal(32), cache)
+        assert cache.num_tokens == 6
+
+    def test_decode_equals_prefill_incrementally(self, weights):
+        """Prefilling n+1 tokens == prefilling n then decoding the last."""
+        ref = ReferenceTransformer(weights)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((8, 32))
+        full_hidden, _ = ref.prefill(x)
+        _, cache = ref.prefill(x[:7])
+        last = ref.decode_step(x[7], cache)
+        np.testing.assert_allclose(last, full_hidden[7], atol=1e-10)
+
+    def test_generate_deterministic(self, weights):
+        ref = ReferenceTransformer(weights)
+        x = np.random.default_rng(3).standard_normal((6, 32))
+        a = ref.generate(x, num_steps=4)
+        b = ref.generate(x, num_steps=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_next_token_embedding_bounded(self):
+        out = next_token_embedding(np.array([100.0, -100.0, 0.0]))
+        assert np.all(np.abs(out) <= 0.5)
+
+
+class TestOnlineSoftmax:
+    def test_single_block_matches_direct(self):
+        rng = np.random.default_rng(4)
+        q = rng.standard_normal((3, 2, 8))
+        k = rng.standard_normal((5, 2, 8))
+        v = rng.standard_normal((5, 2, 8))
+        q_pos = np.arange(10, 13)
+        k_pos = np.arange(5)
+        acc = OnlineSoftmax(3, 2, 8)
+        acc.update(q, k, v, q_pos, k_pos)
+        np.testing.assert_allclose(
+            acc.finalize(), causal_attention(q, k, v, q_pos, k_pos), atol=1e-12
+        )
+
+    def test_block_order_invariance(self):
+        """Online accumulation over any block split equals full softmax."""
+        rng = np.random.default_rng(5)
+        q = rng.standard_normal((2, 2, 8))
+        k = rng.standard_normal((9, 2, 8))
+        v = rng.standard_normal((9, 2, 8))
+        q_pos = np.array([8, 8])
+        k_pos = np.arange(9)
+        expected = causal_attention(q, k, v, q_pos, k_pos)
+        for splits in ([3, 6], [1, 2, 5], [4]):
+            acc = OnlineSoftmax(2, 2, 8)
+            blocks = np.split(np.arange(9), splits)
+            rng.shuffle(blocks)
+            for block in blocks:
+                acc.update(q, k[block], v[block], q_pos, k_pos[block])
+            np.testing.assert_allclose(acc.finalize(), expected, atol=1e-10)
+
+    def test_merge_partial_equals_sequential(self):
+        rng = np.random.default_rng(6)
+        q = rng.standard_normal((1, 2, 8))
+        k = rng.standard_normal((6, 2, 8))
+        v = rng.standard_normal((6, 2, 8))
+        q_pos = np.array([6])
+        k_pos = np.arange(6)
+
+        sequential = OnlineSoftmax(1, 2, 8)
+        sequential.update(q, k, v, q_pos, k_pos)
+
+        left = OnlineSoftmax(1, 2, 8)
+        left.update(q, k[:3], v[:3], q_pos, k_pos[:3])
+        right = OnlineSoftmax(1, 2, 8)
+        right.update(q, k[3:], v[3:], q_pos, k_pos[3:])
+        left.merge_partial(*right.partial())
+        np.testing.assert_allclose(left.finalize(), sequential.finalize(), atol=1e-12)
+
+    def test_fully_masked_query_raises_on_finalize(self):
+        acc = OnlineSoftmax(1, 2, 8)
+        rng = np.random.default_rng(7)
+        acc.update(
+            rng.standard_normal((1, 2, 8)),
+            rng.standard_normal((3, 2, 8)),
+            rng.standard_normal((3, 2, 8)),
+            np.array([0]),
+            np.array([5, 6, 7]),  # all in the future
+        )
+        with pytest.raises(ValueError):
+            acc.finalize()
+
+    def test_empty_block_is_noop(self):
+        acc = OnlineSoftmax(1, 2, 8)
+        acc.update(
+            np.zeros((1, 2, 8)),
+            np.zeros((0, 2, 8)),
+            np.zeros((0, 2, 8)),
+            np.array([0]),
+            np.zeros(0, dtype=int),
+        )
+        assert np.all(np.isneginf(acc.m))

@@ -1,0 +1,189 @@
+"""Equivalence tests for striped-attention SP prefill and proactive
+scale-down — the paper's §4.1 mechanism, verified numerically."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.instance import FunctionalInstance, group_placement
+from repro.engine.reference import ReferenceTransformer
+from repro.engine.striped import (
+    stripe_assignment,
+    striped_prefill,
+    validate_retention_plan,
+)
+from repro.engine.weights import TransformerWeights
+
+
+def make_weights(num_kv_heads: int = 4, seed: int = 0) -> TransformerWeights:
+    return TransformerWeights.random(
+        hidden_size=32, num_heads=4, num_kv_heads=num_kv_heads, num_layers=2, seed=seed
+    )
+
+
+def make_instances(weights: TransformerWeights, count: int) -> list[FunctionalInstance]:
+    return [
+        FunctionalInstance(i, weights.num_layers, weights.num_kv_heads, weights.head_dim)
+        for i in range(count)
+    ]
+
+
+class TestStripeAssignment:
+    def test_partition_is_complete(self):
+        stripes = stripe_assignment(10, 3)
+        merged = np.sort(np.concatenate(stripes))
+        assert np.array_equal(merged, np.arange(10))
+
+    def test_striping_interleaves(self):
+        stripes = stripe_assignment(6, 2)
+        assert stripes[0].tolist() == [0, 2, 4]
+        assert stripes[1].tolist() == [1, 3, 5]
+
+    def test_balanced_within_one(self):
+        stripes = stripe_assignment(11, 4)
+        sizes = [len(s) for s in stripes]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRetentionPlanValidation:
+    def test_must_cover_all_positions(self):
+        with pytest.raises(ValueError):
+            validate_retention_plan({0: np.arange(5)}, num_tokens=6, group_size=2)
+
+    def test_must_not_duplicate(self):
+        with pytest.raises(ValueError):
+            validate_retention_plan(
+                {0: np.arange(4), 1: np.arange(2, 6)}, num_tokens=6, group_size=2
+            )
+
+    def test_rejects_foreign_instance(self):
+        with pytest.raises(ValueError):
+            validate_retention_plan({7: np.arange(6)}, num_tokens=6, group_size=2)
+
+    def test_accepts_partition(self):
+        validate_retention_plan(
+            {0: np.arange(3), 1: np.arange(3, 6)}, num_tokens=6, group_size=2
+        )
+
+
+class TestStripedPrefillEquivalence:
+    @pytest.mark.parametrize("sp", [1, 2, 3, 4])
+    def test_matches_reference(self, sp):
+        weights = make_weights()
+        reference = ReferenceTransformer(weights)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((17, weights.hidden_size))
+        expected, _ = reference.prefill(x)
+        instances = make_instances(weights, sp)
+        run = striped_prefill(weights, x, instances, request_id=0)
+        np.testing.assert_allclose(run.hidden, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("num_kv_heads", [1, 2, 4])
+    def test_matches_reference_gqa_mqa(self, num_kv_heads):
+        """§6: ESP is compatible with MHA, GQA, and MQA."""
+        weights = make_weights(num_kv_heads=num_kv_heads, seed=3)
+        reference = ReferenceTransformer(weights)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((12, weights.hidden_size))
+        expected, _ = reference.prefill(x)
+        run = striped_prefill(weights, x, make_instances(weights, 3), request_id=0)
+        np.testing.assert_allclose(run.hidden, expected, atol=1e-10)
+
+    def test_default_retention_is_stripes(self):
+        weights = make_weights()
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((10, weights.hidden_size))
+        instances = make_instances(weights, 2)
+        striped_prefill(weights, x, instances, request_id=7)
+        np.testing.assert_array_equal(instances[0].positions_held(7), [0, 2, 4, 6, 8])
+        np.testing.assert_array_equal(instances[1].positions_held(7), [1, 3, 5, 7, 9])
+
+    def test_rejects_empty_sequence(self):
+        weights = make_weights()
+        with pytest.raises(ValueError):
+            striped_prefill(
+                weights,
+                np.zeros((0, weights.hidden_size)),
+                make_instances(weights, 2),
+                request_id=0,
+            )
+
+
+class TestProactiveScaleDown:
+    def test_retention_places_exactly_planned_tokens(self):
+        weights = make_weights()
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((13, weights.hidden_size))
+        instances = make_instances(weights, 4)
+        plan = {0: np.arange(0, 4), 1: np.arange(4, 13)}
+        run = striped_prefill(weights, x, instances, request_id=0, retention_plan=plan)
+        np.testing.assert_array_equal(instances[0].positions_held(0), np.arange(0, 4))
+        np.testing.assert_array_equal(instances[1].positions_held(0), np.arange(4, 13))
+        assert instances[2].tokens_held(0) == 0
+        assert instances[3].tokens_held(0) == 0
+        assert run.retained == {0: 4, 1: 9}
+
+    def test_zero_extra_communication(self):
+        """The §4.1 claim: scale-down adds no ring traffic at all."""
+        weights = make_weights()
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((16, weights.hidden_size))
+        baseline = striped_prefill(
+            weights, x, make_instances(weights, 4), request_id=0
+        )
+        plan = {0: np.arange(0, 8), 1: np.arange(8, 16)}
+        scaled = striped_prefill(
+            weights, x, make_instances(weights, 4), request_id=0, retention_plan=plan
+        )
+        assert scaled.ring_sends == baseline.ring_sends
+
+    def test_output_unaffected_by_retention_plan(self):
+        weights = make_weights()
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((11, weights.hidden_size))
+        plain = striped_prefill(weights, x, make_instances(weights, 3), request_id=0)
+        plan = {1: np.arange(11)}  # keep everything on one survivor
+        scaled = striped_prefill(
+            weights, x, make_instances(weights, 3), request_id=0, retention_plan=plan
+        )
+        np.testing.assert_allclose(plain.hidden, scaled.hidden, atol=1e-12)
+
+    @given(
+        num_tokens=st.integers(min_value=2, max_value=24),
+        sp=st.integers(min_value=2, max_value=4),
+        cut_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_partition_property(self, num_tokens, sp, cut_seed):
+        """Any token partition over any survivor subset is realisable and
+        the retained KV matches a reference prefill's KV exactly."""
+        weights = make_weights(seed=9)
+        rng = np.random.default_rng(cut_seed)
+        x = rng.standard_normal((num_tokens, weights.hidden_size))
+        survivors = sorted(
+            rng.choice(sp, size=rng.integers(1, sp + 1), replace=False).tolist()
+        )
+        owner = rng.choice(survivors, size=num_tokens)
+        plan = {
+            s: np.flatnonzero(owner == s) for s in survivors if (owner == s).any()
+        }
+        if not plan:
+            plan = {survivors[0]: np.arange(num_tokens)}
+        instances = make_instances(weights, sp)
+        striped_prefill(weights, x, instances, request_id=0, retention_plan=plan)
+
+        reference = ReferenceTransformer(weights)
+        _, cache = reference.prefill(x)
+        placement = group_placement(instances, 0)
+        assert sum(placement.values()) == num_tokens
+        for instance in instances:
+            for layer in range(weights.num_layers):
+                shard = instance.shard(0, layer)
+                for idx, position in enumerate(shard.positions):
+                    np.testing.assert_allclose(
+                        shard.k[idx], cache.layers[layer].k[position], atol=1e-10
+                    )
+                    np.testing.assert_allclose(
+                        shard.v[idx], cache.layers[layer].v[position], atol=1e-10
+                    )

@@ -1,0 +1,143 @@
+"""Tests for metrics: normalised latencies, SLO attainment, histograms."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.costmodel.latency import RooflineCostModel
+from repro.metrics.latency import summarize_latency
+from repro.metrics.slo import IdealLatencyModel, max_rate_under_slo, slo_report
+from repro.metrics.summary import (
+    request_throughput,
+    scale_event_histogram,
+    throughput_tokens_per_s,
+)
+from repro.model.spec import LWM_7B_1M
+from repro.types import RequestState, ScalingEvent, ServeResult
+from tests.conftest import make_request
+
+
+def finished_request(input_len=100, output_len=10, arrival=0.0, finish=5.0):
+    request = make_request(input_len=input_len, output_len=output_len, arrival=arrival)
+    request.prefill_start = arrival + 0.5
+    request.prefill_end = arrival + 1.0
+    request.finish_time = finish
+    request.generated = output_len
+    request.state = RequestState.FINISHED
+    return request
+
+
+@pytest.fixture(scope="module")
+def ideal() -> IdealLatencyModel:
+    cost = RooflineCostModel(cluster=Cluster.homogeneous(8), model=LWM_7B_1M)
+    return IdealLatencyModel(cost_model=cost, tensor_parallel=2, max_instances=4)
+
+
+class TestLatencySummary:
+    def test_summary_values(self):
+        result = ServeResult(system="x", requests=[finished_request()])
+        summary = summarize_latency(result)
+        assert summary.per_token == pytest.approx(5.0 / 110)
+        assert summary.input_token == pytest.approx(1.0 / 100)
+        assert summary.output_token == pytest.approx(4.0 / 10)
+        assert summary.finished == 1
+
+    def test_empty_result_infinite(self):
+        summary = summarize_latency(ServeResult(system="x", requests=[]))
+        assert summary.per_token == float("inf")
+        assert summary.completion_rate == 0.0
+
+    def test_unfinished_excluded(self):
+        result = ServeResult(
+            system="x", requests=[finished_request(), make_request()]
+        )
+        summary = summarize_latency(result)
+        assert summary.finished == 1
+        assert summary.total == 2
+
+    def test_p90_at_least_mean_for_skewed(self):
+        requests = [finished_request(finish=1.2 + i * 2) for i in range(10)]
+        summary = summarize_latency(ServeResult(system="x", requests=requests))
+        assert summary.per_token_p90 >= summary.per_token
+
+
+class TestSLO:
+    def test_ideal_latency_scales_with_length(self, ideal):
+        short = make_request(input_len=1_000, output_len=10)
+        long = make_request(input_len=100_000, output_len=10)
+        assert ideal.ideal_latency(long) > ideal.ideal_latency(short)
+
+    def test_deadline_is_scaled(self, ideal):
+        request = make_request(input_len=1_000, output_len=10)
+        assert ideal.deadline(request, scale=25.0) == pytest.approx(
+            25.0 * ideal.ideal_latency(request)
+        )
+
+    def test_attainment_counts_misses(self, ideal):
+        fast = finished_request(input_len=1_000, output_len=50, finish=2.0)
+        slow = finished_request(input_len=1_000, output_len=50, finish=50_000.0)
+        report = slo_report(ServeResult(system="x", requests=[fast, slow]), ideal)
+        assert report.attained == 1
+        assert report.attainment == pytest.approx(0.5)
+
+    def test_aborted_count_as_missed(self, ideal):
+        fast = finished_request(input_len=1_000, output_len=50, finish=2.0)
+        aborted = make_request()
+        result = ServeResult(system="x", requests=[fast], aborted=[aborted])
+        report = slo_report(result, ideal)
+        assert report.total == 2
+        assert report.attainment == pytest.approx(0.5)
+
+    def test_max_rate_under_slo(self):
+        rates = [1.0, 2.0, 3.0, 4.0]
+        attainments = [1.0, 0.95, 0.80, 0.40]
+        assert max_rate_under_slo(rates, attainments, target=0.9) == 2.0
+
+    def test_max_rate_none_qualify(self):
+        assert max_rate_under_slo([1.0], [0.5]) == 0.0
+
+    def test_max_rate_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            max_rate_under_slo([1.0, 2.0], [1.0])
+
+
+class TestSummaries:
+    def test_throughput_tokens(self):
+        result = ServeResult(
+            system="x", requests=[finished_request(input_len=90, output_len=10)],
+            makespan=10.0,
+        )
+        assert throughput_tokens_per_s(result) == pytest.approx(10.0)
+
+    def test_request_throughput(self):
+        result = ServeResult(
+            system="x", requests=[finished_request()], makespan=5.0
+        )
+        assert request_throughput(result) == pytest.approx(0.2)
+
+    def test_zero_makespan(self):
+        assert throughput_tokens_per_s(ServeResult(system="x")) == 0.0
+
+    def test_scale_event_histogram_bins(self):
+        events = [
+            ScalingEvent(time=t, kind="scale_up", group_before=(0,), group_after=(0, 1))
+            for t in (1.0, 5.0, 12.0, 25.0)
+        ]
+        bins = scale_event_histogram(events, "scale_up", bin_seconds=10.0)
+        assert bins == [2, 1, 1]
+
+    def test_histogram_respects_until(self):
+        events = [
+            ScalingEvent(time=1.0, kind="scale_up", group_before=(0,), group_after=(0, 1))
+        ]
+        bins = scale_event_histogram(events, "scale_up", bin_seconds=10.0, until=45.0)
+        assert bins == [1, 0, 0, 0, 0]
+
+    def test_histogram_filters_kind(self):
+        events = [
+            ScalingEvent(time=1.0, kind="scale_down", group_before=(0, 1), group_after=(0,))
+        ]
+        assert scale_event_histogram(events, "scale_up", until=10.0) == [0]
+
+    def test_histogram_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            scale_event_histogram([], "scale_up", bin_seconds=0.0)

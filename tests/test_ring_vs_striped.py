@@ -1,0 +1,91 @@
+"""Striped vs. contiguous-block (Ring Attention) token assignment.
+
+The paper builds on *Striped* Attention because contiguous blocks are
+causally imbalanced (§2.3).  Both layouts must produce identical
+outputs; only the per-instance attention work differs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.instance import FunctionalInstance
+from repro.engine.reference import ReferenceTransformer
+from repro.engine.striped import (
+    attention_pairs_per_instance,
+    block_assignment,
+    stripe_assignment,
+    striped_prefill,
+)
+from repro.engine.weights import TransformerWeights
+
+
+def make_weights() -> TransformerWeights:
+    return TransformerWeights.random(
+        hidden_size=32, num_heads=4, num_kv_heads=2, num_layers=2, seed=4
+    )
+
+
+def make_instances(weights, count):
+    return [
+        FunctionalInstance(i, weights.num_layers, weights.num_kv_heads, weights.head_dim)
+        for i in range(count)
+    ]
+
+
+class TestBlockAssignment:
+    def test_partition_complete(self):
+        blocks = block_assignment(10, 3)
+        merged = np.sort(np.concatenate(blocks))
+        assert np.array_equal(merged, np.arange(10))
+
+    def test_blocks_are_contiguous(self):
+        for block in block_assignment(12, 4):
+            assert np.array_equal(block, np.arange(block[0], block[-1] + 1))
+
+    def test_ring_layout_matches_reference_output(self):
+        weights = make_weights()
+        reference = ReferenceTransformer(weights)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((14, weights.hidden_size))
+        expected, _ = reference.prefill(x)
+        run = striped_prefill(
+            weights, x, make_instances(weights, 3), request_id=0,
+            assignment=block_assignment(14, 3),
+        )
+        np.testing.assert_allclose(run.hidden, expected, atol=1e-10)
+
+    def test_wrong_partition_count_rejected(self):
+        weights = make_weights()
+        with pytest.raises(ValueError, match="partitions"):
+            striped_prefill(
+                weights,
+                np.zeros((8, weights.hidden_size)),
+                make_instances(weights, 3),
+                request_id=0,
+                assignment=block_assignment(8, 2),
+            )
+
+
+class TestCausalBalance:
+    def test_striped_is_balanced(self):
+        pairs = attention_pairs_per_instance(stripe_assignment(4096, 4))
+        assert max(pairs) / min(pairs) < 1.01
+
+    def test_blocks_are_imbalanced(self):
+        """The last contiguous block does ~(2sp-1)x the first block's
+        attention work — the §2.3 motivation for striping."""
+        pairs = attention_pairs_per_instance(block_assignment(4096, 4))
+        assert pairs == sorted(pairs)
+        assert pairs[-1] / pairs[0] > 5.0
+
+    def test_striped_beats_blocks_on_bottleneck(self):
+        """The prefill finishes when the slowest instance does; striping
+        minimises that bottleneck."""
+        striped = attention_pairs_per_instance(stripe_assignment(4096, 4))
+        blocked = attention_pairs_per_instance(block_assignment(4096, 4))
+        assert max(striped) < max(blocked)
+
+    def test_total_work_identical(self):
+        striped = attention_pairs_per_instance(stripe_assignment(1000, 4))
+        blocked = attention_pairs_per_instance(block_assignment(1000, 4))
+        assert sum(striped) == sum(blocked)

@@ -1,0 +1,71 @@
+"""Tests for trace serialization (jsonl save/load)."""
+
+import pytest
+
+from repro.workloads.datasets import MIXED
+from repro.workloads.serialization import (
+    load_trace,
+    records_to_trace,
+    save_trace,
+    trace_to_records,
+)
+from repro.workloads.trace_gen import make_trace
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        trace = make_trace(MIXED, rate=1.0, num_requests=25, seed=5)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert restored.request_id == original.request_id
+            assert restored.input_len == original.input_len
+            assert restored.output_len == original.output_len
+            assert restored.arrival_time == original.arrival_time
+            assert restored.max_tokens == original.max_tokens
+
+    def test_loaded_requests_are_fresh(self, tmp_path):
+        trace = make_trace(MIXED, rate=1.0, num_requests=3, seed=6)
+        trace[0].generated = 9
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded[0].generated == 0
+
+    def test_loaded_sorted_by_arrival(self):
+        records = [
+            {"request_id": 1, "input_len": 10, "output_len": 2, "arrival_time": 5.0},
+            {"request_id": 2, "input_len": 10, "output_len": 2, "arrival_time": 1.0},
+        ]
+        trace = records_to_trace(records)
+        assert [r.request_id for r in trace] == [2, 1]
+
+    def test_records_exclude_runtime_state(self):
+        trace = make_trace(MIXED, rate=1.0, num_requests=2, seed=7)
+        records = trace_to_records(trace)
+        assert set(records[0]) == {
+            "request_id", "input_len", "output_len", "arrival_time", "max_tokens",
+        }
+
+
+class TestErrors:
+    def test_missing_field_raises(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            records_to_trace([{"request_id": 1, "input_len": 10}])
+
+    def test_invalid_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"request_id": 1, "input_len": 10,\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            '{"request_id": 1, "input_len": 10, "output_len": 2, "arrival_time": 0.5}\n'
+            "\n"
+            '{"request_id": 2, "input_len": 20, "output_len": 3, "arrival_time": 1.5}\n'
+        )
+        assert len(load_trace(path)) == 2

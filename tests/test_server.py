@@ -1,0 +1,165 @@
+"""Integration tests for the LoongServe serving loop."""
+
+import pytest
+
+from repro.config import SchedulerConfig, default_config
+from repro.core.server import LoongServeServer
+from repro.types import Phase, RequestState
+from repro.workloads.datasets import LEVAL, SHAREGPT
+from repro.workloads.trace_gen import clone_requests, make_trace
+from tests.conftest import make_request
+
+
+@pytest.fixture(scope="module")
+def server() -> LoongServeServer:
+    return LoongServeServer(default_config())
+
+
+class TestBasicServing:
+    def test_single_request_completes(self, server):
+        request = make_request(input_len=1_000, output_len=5, arrival=0.0)
+        result = server.run([request])
+        assert request.state == RequestState.FINISHED
+        assert request.finish_time is not None
+        assert request.generated == 5
+        assert result.makespan > 0
+
+    def test_single_token_output(self, server):
+        """output_len == 1 finishes at prefill completion."""
+        request = make_request(input_len=500, output_len=1)
+        server.run([request])
+        assert request.finished
+        assert request.prefill_end == request.finish_time
+
+    def test_all_requests_complete(self, server):
+        trace = make_trace(SHAREGPT, rate=10.0, num_requests=40, seed=3)
+        result = server.run(trace)
+        assert len(result.finished_requests) == 40
+        assert not result.aborted
+
+    def test_pool_empty_after_run(self, server):
+        trace = make_trace(SHAREGPT, rate=10.0, num_requests=20, seed=4)
+        server.run(trace)
+        assert server.pool.total_used == 0
+
+    def test_instances_idle_after_run(self, server):
+        trace = make_trace(SHAREGPT, rate=10.0, num_requests=20, seed=5)
+        server.run(trace)
+        assert all(inst.is_idle for inst in server.instances.values())
+
+    def test_latency_ordering_invariants(self, server):
+        trace = make_trace(SHAREGPT, rate=5.0, num_requests=15, seed=6)
+        result = server.run(trace)
+        for request in result.finished_requests:
+            assert request.arrival_time <= request.prefill_start
+            assert request.prefill_start <= request.prefill_end
+            assert request.prefill_end <= request.finish_time
+
+    def test_deterministic_across_runs(self):
+        config = default_config()
+        trace = make_trace(SHAREGPT, rate=8.0, num_requests=25, seed=7)
+        a = LoongServeServer(config).run(clone_requests(trace))
+        b = LoongServeServer(config).run(clone_requests(trace))
+        lat_a = sorted(r.normalized_latency for r in a.finished_requests)
+        lat_b = sorted(r.normalized_latency for r in b.finished_requests)
+        assert lat_a == pytest.approx(lat_b)
+
+
+class TestMemoryManagement:
+    def test_oversized_request_aborted(self, server):
+        request = make_request(input_len=10_000_000, output_len=5)
+        result = server.run([request])
+        assert request in result.aborted
+        assert not result.requests
+
+    def test_long_request_spans_instances(self):
+        """A request bigger than one instance's pool still serves — the
+        unified pool has no locality constraint (Figure 4)."""
+        config = default_config()
+        server = LoongServeServer(config)
+        per_instance = config.kv_slots_per_instance
+        request = make_request(input_len=int(1.5 * per_instance), output_len=3)
+        result = server.run([request])
+        assert request.finished
+        assert not result.aborted
+
+    def test_kv_accounting_during_decode(self):
+        server = LoongServeServer(default_config())
+        request = make_request(input_len=100, output_len=50)
+        server.run([request])
+        assert request.generated == 50
+
+
+class TestElasticity:
+    def test_scale_down_recorded_for_long_prefill(self):
+        server = LoongServeServer(default_config())
+        request = make_request(input_len=200_000, output_len=20)
+        result = server.run([request])
+        downs = [e for e in result.scaling_events if e.kind == "scale_down"]
+        assert downs, "a DoP-4 prefill of a long request must scale down"
+        assert len(downs[0].group_after) < len(downs[0].group_before)
+
+    def test_decode_runs_on_kept_instances_only(self):
+        server = LoongServeServer(default_config())
+        request = make_request(input_len=200_000, output_len=30)
+        result = server.run([request])
+        decode_stats = [s for s in result.iteration_stats if s.phase == Phase.DECODE]
+        assert decode_stats
+        assert max(s.dop for s in decode_stats) < 4
+
+    def test_prefill_uses_high_dop_for_long_request(self):
+        server = LoongServeServer(default_config())
+        request = make_request(input_len=300_000, output_len=5)
+        result = server.run([request])
+        prefill_stats = [s for s in result.iteration_stats if s.phase == Phase.PREFILL]
+        assert prefill_stats[0].dop == 4
+
+    def test_scale_up_disabled_honored(self):
+        from repro.baselines.no_scaleup import build_no_scale_up_loongserve
+
+        server = build_no_scale_up_loongserve()
+        trace = make_trace(SHAREGPT, rate=30.0, num_requests=150, seed=8)
+        result = server.run(trace)
+        ups = [e for e in result.scaling_events if e.kind == "scale_up"]
+        assert not ups
+
+    def test_scale_up_fires_under_load(self):
+        server = LoongServeServer(default_config())
+        trace = make_trace(SHAREGPT, rate=40.0, num_requests=300, seed=9)
+        result = server.run(trace)
+        ups = [e for e in result.scaling_events if e.kind == "scale_up"]
+        assert ups, "sustained ShareGPT load must trigger elastic scale-up"
+
+    def test_multiple_batches_coexist(self):
+        """Prefill and decode proceed concurrently on disjoint groups."""
+        server = LoongServeServer(default_config())
+        trace = make_trace(LEVAL, rate=2.0, num_requests=20, seed=10)
+        result = server.run(trace)
+        assert len(result.finished_requests) == 20
+        stats = result.iteration_stats
+        prefill_windows = [
+            (s.start_time, s.start_time + s.duration)
+            for s in stats
+            if s.phase == Phase.PREFILL
+        ]
+        decode_times = [s.start_time for s in stats if s.phase == Phase.DECODE]
+        overlapped = any(
+            lo < t < hi for t in decode_times for lo, hi in prefill_windows
+        )
+        assert overlapped, "decode iterations should run during prefills"
+
+
+class TestSchedulerConfigKnobs:
+    def test_small_max_batch_size(self):
+        config = default_config(scheduler=SchedulerConfig(max_batch_size=1))
+        server = LoongServeServer(config)
+        trace = make_trace(SHAREGPT, rate=5.0, num_requests=10, seed=11)
+        result = server.run(trace)
+        assert len(result.finished_requests) == 10
+
+    def test_multi_master_disabled_still_serves(self):
+        config = default_config(scheduler=SchedulerConfig(enable_multi_master=False))
+        server = LoongServeServer(config)
+        trace = make_trace(SHAREGPT, rate=10.0, num_requests=30, seed=12)
+        result = server.run(trace)
+        assert len(result.finished_requests) == 30

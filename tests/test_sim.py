@@ -1,0 +1,137 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.sim.trace import TraceRecorder
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        while queue:
+            queue.pop().action()
+        assert order == ["a", "b"]
+
+    def test_ties_resolved_by_priority_then_seq(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("late"), priority=5)
+        queue.push(1.0, lambda: order.append("early"), priority=0)
+        queue.push(1.0, lambda: order.append("early2"), priority=0)
+        while queue:
+            queue.pop().action()
+        assert order == ["early", "early2", "late"]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5.0, lambda: seen.append(sim.now))
+        sim.call_at(3.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [3.0, 5.0]
+        assert sim.now == 5.0
+
+    def test_call_after_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(2.0, lambda: sim.call_after(1.5, lambda: seen.append(sim.now)))
+        sim.run_until_idle()
+        assert seen == [3.5]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_run_until_bound(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.call_at(t, lambda t=t: seen.append(t))
+        sim.run(until=2.5)
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.5
+
+    def test_clock_advances_to_until_when_idle(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_stop_exits_loop(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.call_at(2.0, lambda: seen.append(2))
+        sim.run_until_idle()
+        assert seen == [(1, None)] or len(seen) == 1
+
+    def test_deterministic_replay(self):
+        def run_once() -> list[float]:
+            sim = Simulator()
+            seen: list[float] = []
+            for t in (3.0, 1.0, 1.0, 2.0):
+                sim.call_at(t, lambda t=t: seen.append(t))
+            sim.run_until_idle()
+            return seen
+
+        assert run_once() == run_once()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.call_at(t, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 2
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.call_after(1.0, reschedule)
+
+        sim.call_at(0.0, reschedule)
+        sim.run(max_events=100)
+        assert sim.events_processed == 100
+
+
+class TestTraceRecorder:
+    def test_records_and_filters(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "arrival", request=1)
+        trace.record(2.0, "finish", request=1)
+        assert len(trace) == 2
+        assert trace.of_kind("arrival")[0].payload["request"] == 1
+        assert trace.kinds() == {"arrival", "finish"}
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "arrival")
+        assert len(trace) == 0
+
+    def test_between_window(self):
+        trace = TraceRecorder()
+        for t in (1.0, 2.0, 3.0):
+            trace.record(t, "tick")
+        assert len(trace.between(1.5, 3.0)) == 1
+
+    def test_render_contains_kind(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "scale_up", batch=3)
+        assert "scale_up" in trace.render()
