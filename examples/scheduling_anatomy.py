@@ -56,7 +56,7 @@ def main() -> None:
         instances[i].assign(InstanceRole.DECODE, batch.batch_id)
 
     pending = [request(180_000)] + [request(900) for _ in range(5)]
-    print(f"\npending queue: 1 x 180K-token prompt + 5 x 900-token prompts")
+    print("\npending queue: 1 x 180K-token prompt + 5 x 900-token prompts")
     print(f"decode batch on instances (0, 1): {batch.batch_size} requests, "
           f"{batch.total_context:,} KV tokens resident")
 
@@ -89,7 +89,7 @@ def main() -> None:
         print(f"  decode batch {scaled.batch_id} scales up by "
               f"{decision.add_instances} ({decision.reason})")
     if plan.coopted_batches:
-        print(f"  co-opted decode batches: "
+        print("  co-opted decode batches: "
               f"{[b.batch_id for b in plan.coopted_batches]}")
 
 

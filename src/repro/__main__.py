@@ -5,6 +5,13 @@
     python -m repro serve --system vllm --trace my_trace.jsonl --timeline
     python -m repro gen-trace --dataset mixed --rate 0.5 -n 100 -o trace.jsonl
 
+Fleet-scale serving shards the trace across N replicas behind a router
+(`round-robin`, `least-outstanding`, `least-kv`, or `length-aware`) and
+reports fleet-aggregated latency, SLO attainment, and per-replica load:
+
+    python -m repro serve --system loongserve --replicas 4 \
+        --router least-kv --dataset mixed --rate 20 --num-requests 200
+
 (`python -m repro.experiments <figureN>` regenerates paper figures.)
 """
 
@@ -13,7 +20,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.systems import make_system
+from repro.experiments.systems import make_fleet, make_system
+from repro.fleet.router import ROUTERS
+from repro.metrics.fleet import fleet_load_report
 from repro.metrics.latency import summarize_latency
 from repro.metrics.summary import throughput_tokens_per_s
 from repro.viz.timeline import occupancy_timeline, utilization_summary
@@ -37,8 +46,17 @@ def _build_trace(args: argparse.Namespace):
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.replicas < 1:
+        print(f"error: --replicas must be >= 1, got {args.replicas}", file=sys.stderr)
+        return 2
     trace = _build_trace(args)
-    system = make_system(args.system, requests=trace, num_gpus=args.num_gpus)
+    if args.replicas > 1:
+        system = make_fleet(
+            args.system, replicas=args.replicas, router=args.router,
+            requests=trace, num_gpus=args.num_gpus,
+        )
+    else:
+        system = make_system(args.system, requests=trace, num_gpus=args.num_gpus)
     result = system.run(clone_requests(trace))
     summary = summarize_latency(result)
 
@@ -55,7 +73,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ups = sum(1 for e in result.scaling_events if e.kind == "scale_up")
         downs = len(result.scaling_events) - ups
         print(f"elastic scaling: {ups} scale-ups, {downs} scale-downs")
-    if args.timeline:
+    if args.replicas > 1:
+        from repro.experiments.endtoend import reference_ideal_model
+        from repro.metrics.slo import slo_report
+
+        ideal = reference_ideal_model(num_gpus=args.num_gpus)
+        slo = slo_report(result, ideal)
+        print(f"SLO attainment: {slo.attainment:.1%} "
+              f"({slo.attained}/{slo.total} within deadline)")
+        print("\nper-replica load:")
+        print(fleet_load_report(result.per_replica).render())
+    if args.timeline and args.replicas > 1:
+        print("\n(--timeline shows one deployment; rerun without --replicas)")
+    elif args.timeline:
         num_instances = getattr(
             getattr(system, "config", None), "num_instances", args.num_gpus // 2
         )
@@ -91,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--trace", help="replay a jsonl trace instead of generating")
     serve.add_argument("--timeline", action="store_true",
                        help="render the instance-occupancy Gantt strip")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="serve with N independent replicas behind a router")
+    serve.add_argument("--router", choices=sorted(ROUTERS), default="round-robin",
+                       help="fleet routing policy (with --replicas > 1)")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")

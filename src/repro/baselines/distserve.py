@@ -84,8 +84,12 @@ class DistServeServer:
         self.migration_seconds = 0.0
         self._handoff_queue: deque[Request] = deque()
 
-    def run(self, requests: list[Request]) -> ServeResult:
-        sim = Simulator()
+    def use_simulator(self, sim: Simulator) -> None:
+        """Reset both engines and attach them to a (shared) clock.
+
+        Lets an outer dispatcher — e.g. a fleet router — drive this
+        system via :meth:`submit` instead of :meth:`run`.
+        """
         self.prefill_engine._reset()
         self.decode_engine._reset()
         self.prefill_engine.use_simulator(sim)
@@ -97,6 +101,27 @@ class DistServeServer:
         self.migration_seconds = 0.0
         self._handoff_queue = deque()
         self._sim = sim
+
+    def submit(self, request: Request) -> None:
+        """External enqueue, applying the disaggregation capacity cap.
+
+        The longest servable request is capped by both pools: the KV
+        must fit the prefill group first and the decode group after.
+        """
+        capacity = min(self.prefill_engine.kv_slots, self.decode_engine.kv_slots)
+        if request.max_total_len + 1 > capacity:
+            request.state = RequestState.FINISHED
+            self.aborted.append(request)
+            self.trace.record(
+                self._sim.now, "abort", request=request.request_id,
+                system=self.name,
+            )
+            return
+        self.prefill_engine.submit(request)
+
+    def run(self, requests: list[Request]) -> ServeResult:
+        sim = Simulator()
+        self.use_simulator(sim)
 
         for request in requests:
             sim.call_at(
@@ -125,18 +150,7 @@ class DistServeServer:
 
     def _make_arrival(self, request: Request):
         def _on_arrival() -> None:
-            # The longest servable request is capped by both pools: the KV
-            # must fit the prefill group first and the decode group after.
-            capacity = min(self.prefill_engine.kv_slots, self.decode_engine.kv_slots)
-            if request.max_total_len + 1 > capacity:
-                request.state = RequestState.FINISHED
-                self.aborted.append(request)
-                self.trace.record(
-                    self._sim.now, "abort", request=request.request_id,
-                    system=self.name,
-                )
-                return
-            self.prefill_engine.submit(request)
+            self.submit(request)
 
         return _on_arrival
 

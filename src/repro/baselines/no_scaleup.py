@@ -9,11 +9,8 @@ walls on ShareGPT-like workloads.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.config import SchedulerConfig, SystemConfig, default_config
 from repro.core.server import LoongServeServer
-from repro.costmodel.latency import RooflineCostModel
 
 
 def build_loongserve(

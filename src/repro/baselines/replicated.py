@@ -38,9 +38,7 @@ class ReplicatedServer:
 
     def run(self, requests: list[Request]) -> ServeResult:
         sim = Simulator()
-        for engine in self.engines:
-            engine._reset()
-            engine.use_simulator(sim)
+        self.use_simulator(sim)
         for request in requests:
             sim.call_at(
                 request.arrival_time,
@@ -60,10 +58,24 @@ class ReplicatedServer:
             aborted=aborted,
         )
 
+    def use_simulator(self, sim: Simulator) -> None:
+        """Reset every engine and attach them to a (shared) clock.
+
+        Lets an outer dispatcher — e.g. a fleet router — drive this
+        system via :meth:`submit` instead of :meth:`run`.
+        """
+        for engine in self.engines:
+            engine._reset()
+            engine.use_simulator(sim)
+
+    def submit(self, request: Request) -> None:
+        """External enqueue: dispatch one request to the best engine."""
+        engine = min(self.engines, key=self._outstanding_tokens)
+        engine.submit(request)
+
     def _make_arrival(self, request: Request):
         def _on_arrival() -> None:
-            engine = min(self.engines, key=self._outstanding_tokens)
-            engine.submit(request)
+            self.submit(request)
 
         return _on_arrival
 

@@ -10,10 +10,12 @@ scanning FCFS under two families of constraints:
   request's declared maximum footprint.
 * **GPU computing** — stop at the memory→compute tipping point, past
   which batching more prefill work only extends the iteration (profiled
-  per instance; the budget scales with the obtainable instances); and
-  co-opt a decode batch's instances only when the Eq. 2 gain (input
-  latency saved for the extra requests) exceeds the Eq. 1 cost (output
-  latency inflicted on the paused decode batch).
+  per instance; the budget scales with the instances executing the
+  prefill, starting from the idle base group); and co-opt a decode
+  batch's instances — raising the compute budget by the group's share —
+  only when the Eq. 2 gain (input latency saved for the extra requests)
+  exceeds the Eq. 1 cost (output latency inflicted on the paused decode
+  batch).
 """
 
 from __future__ import annotations
@@ -74,8 +76,11 @@ def select_prefill_requests(
     # preemptable decode instances (their resident KV migrates or stays).
     memory_budget = sum(free_slots.get(i, 0) for i in idle_instances)
     memory_budget += sum(free_slots.get(i, 0) for i in preemptable)
-    potential_instances = len(idle_instances) + len(preemptable)
-    token_budget = config.prefill_tipping_tokens * max(1, potential_instances)
+    # Compute budget: the tipping point scales with the instances that
+    # will actually execute the prefill — the idle base group.  Decode
+    # instances contribute their compute only once co-opted (phase 2),
+    # each successful co-opt raising the budget by its group's share.
+    token_budget = config.prefill_tipping_tokens * max(1, len(idle_instances))
 
     # Eviction avoidance (§5.1): resident decoding requests (and requests
     # whose prefill is still in flight) will grow to their declared caps;
@@ -120,27 +125,41 @@ def select_prefill_requests(
     if index >= len(queue):
         return decision
 
-    # Phase 2: consider co-opting decode groups' remaining capacity for
-    # more requests (the paper's worst-case preemption analysis, Eqs. 1-2).
+    # Phase 2: consider co-opting decode groups' compute for more
+    # requests (the paper's worst-case preemption analysis, Eqs. 1-2).
+    # Memory is NOT what a co-opt contributes — the decode instances' free
+    # slots are already inside ``memory_budget``/``future_budget``, so the
+    # hard memory and eviction-avoidance gates stay unchanged; what the
+    # paused group adds is its instances' compute, which raises the
+    # tipping-point budget by the group's share.
     for batch in sorted(stable_batches, key=lambda b: -_group_free(b, free_slots)):
         if index >= len(queue):
             break
-        group_spare = _group_free(batch, free_slots)
+        coopt_token_budget = token_budget + config.prefill_tipping_tokens * len(
+            batch.instance_ids
+        )
         extra: list[Request] = []
         extra_slots = 0
         extra_tokens = 0
-        while index < len(queue):
+        extra_future = 0
+        while index < len(queue) and (
+            len(decision.requests) + len(extra) < config.max_batch_size
+        ):
             request = queue[index]
             needed = _slots_needed(request)
-            if committed_slots + extra_slots + needed > memory_budget + group_spare:
+            future = request.max_total_len + 1
+            if committed_slots + extra_slots + needed > memory_budget:
                 break
+            if committed_future + extra_future + future > future_budget:
+                break  # would risk a future eviction
             if (
                 decision.requests or extra
-            ) and committed_tokens + extra_tokens + request.current_len > token_budget:
-                break  # past the tipping point; don't grow the batch further
+            ) and committed_tokens + extra_tokens + request.current_len > coopt_token_budget:
+                break  # past the enlarged tipping point
             extra.append(request)
             extra_slots += needed
             extra_tokens += request.current_len
+            extra_future += future
             index += 1
         if not extra:
             continue
@@ -154,7 +173,15 @@ def select_prefill_requests(
         if gain > cost:
             decision.requests.extend(extra)
             decision.coopted_batches.append(batch)
+            # All three commitment counters advance, so the next co-opt
+            # candidate is gated against what this round actually admitted
+            # (stale token/future counts would let successive co-opts push
+            # the joint batch past the tipping point and the eviction-
+            # avoidance reserve).
             committed_slots += extra_slots
+            committed_tokens += extra_tokens
+            committed_future += extra_future
+            token_budget = coopt_token_budget  # the group's compute now counts
         else:
             index -= len(extra)  # put them back; FCFS order preserved
             break

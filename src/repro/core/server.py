@@ -11,8 +11,6 @@ out of memory (the same last-resort rule vLLM uses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.config import SystemConfig
 from repro.core.batch import DecodeBatch, next_batch_id
 from repro.core.elastic_instance import ElasticInstance, InstanceRole
@@ -97,6 +95,21 @@ class LoongServeServer:
             makespan=self.sim.now,
             aborted=self.aborted,
         )
+
+    def use_simulator(self, sim: Simulator) -> None:
+        """Attach to a shared virtual clock (fleet / multi-system runs).
+
+        Call after :meth:`_reset`; external drivers then enqueue work via
+        :meth:`submit` instead of :meth:`run`.
+        """
+        self.sim = sim
+
+    def submit(self, request: Request) -> None:
+        """External enqueue from a dispatcher (e.g. a fleet router)."""
+        self._all_requests.append(request)
+        self.pending.append(request)
+        self.trace.record(self.sim.now, "arrival", request=request.request_id)
+        self._request_tick()
 
     # -- event handlers ----------------------------------------------------------
 
@@ -528,5 +541,29 @@ class LoongServeServer:
 
     def _avg_decode_latency(self) -> float:
         if self._decode_latency_count == 0:
-            return 0.0
+            return self._seed_decode_latency()
         return self._decode_latency_sum / self._decode_latency_count
+
+    def _seed_decode_latency(self) -> float:
+        """Cold-start estimate of AvgLat_d (Eq. 2) from the cost model.
+
+        Before the first request finishes its decode phase, a measured
+        average does not exist; returning 0.0 would zero the dispatch gain
+        and disable co-opting for the entire warm-up of every run.  Seed
+        the estimate instead with the resident requests' predicted
+        remaining decode time (per-step roofline time x declared remaining
+        output tokens).
+        """
+        total = 0.0
+        count = 0
+        for batch in self.decode_batches:
+            if not batch.requests or batch.group is None:
+                continue
+            step = self.cost_model.decode_time(
+                batch.context_lens, list(batch.instance_ids), self.config.tensor_parallel
+            )
+            for request in batch.requests:
+                remaining = max(1, request.max_total_len - request.current_len)
+                total += step * remaining
+                count += 1
+        return total / count if count else 0.0

@@ -16,7 +16,7 @@ implicitly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.config import SchedulerConfig, default_config
 from repro.core import scaling_plan as scaling_plan_module

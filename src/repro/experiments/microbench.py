@@ -14,7 +14,6 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.core.sib import ScalingInformationBase
 from repro.costmodel.latency import RooflineCostModel
-from repro.kvcache.migration import MigrationPlan, MigrationStep
 from repro.model.spec import LWM_7B_1M, ModelSpec
 from repro.parallel.strategy import ParallelismStrategy
 

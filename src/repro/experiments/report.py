@@ -102,7 +102,7 @@ def render_goodput(curves: list[SystemCurve], target: float = 0.90) -> str:
     body = [
         [curve.system, f"{curve.goodput(target):.2f}"] for curve in curves
     ]
-    return table(["system", f"P90 goodput (req/s)"], body)
+    return table(["system", "P90 goodput (req/s)"], body)
 
 
 def render_figure14a(rows: list[Figure14aRow]) -> str:

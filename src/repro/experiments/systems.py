@@ -140,6 +140,32 @@ def build_splitfuse_per_node(
     return ReplicatedServer(engines, name="LightLLM w/ SplitFuse")
 
 
+def make_fleet(
+    system: str = "loongserve",
+    replicas: int = 4,
+    router: str = "round-robin",
+    requests: Sequence[Request] | None = None,
+    num_gpus: int = 8,
+    gpus_per_node: int = 8,
+    **router_kwargs,
+):
+    """Build a fleet of identical replicas behind a routing policy.
+
+    ``system`` is any :func:`make_system` name; ``num_gpus`` is the GPU
+    count *per replica* (the fleet spans ``replicas * num_gpus`` GPUs).
+    """
+    from repro.fleet import FleetServer, make_router
+
+    if replicas < 1:
+        raise ValueError(f"need at least one replica, got {replicas}")
+    servers = [
+        make_system(system, requests=requests, num_gpus=num_gpus,
+                    gpus_per_node=gpus_per_node)
+        for _ in range(replicas)
+    ]
+    return FleetServer(servers, make_router(router, **router_kwargs))
+
+
 def make_system(
     name: str,
     requests: Sequence[Request] | None = None,

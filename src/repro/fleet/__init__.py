@@ -1,0 +1,34 @@
+"""Fleet-scale serving: many replicas behind a request router.
+
+The single-deployment systems under ``repro.baselines`` / ``repro.core``
+serve one cluster; a production fleet runs N of them behind a router
+that shards the arriving trace.  ``FleetServer`` hosts any mix of
+replica systems on one shared virtual clock, and ``Router`` policies
+decide placement per arriving request.
+"""
+
+from repro.fleet.router import (
+    LONG_INPUT_THRESHOLD,
+    ROUTERS,
+    LeastKVRouter,
+    LeastOutstandingRouter,
+    LengthAwareRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from repro.fleet.server import FleetResult, FleetServer, ReplicaHandle
+
+__all__ = [
+    "LONG_INPUT_THRESHOLD",
+    "ROUTERS",
+    "FleetResult",
+    "FleetServer",
+    "LeastKVRouter",
+    "LeastOutstandingRouter",
+    "LengthAwareRouter",
+    "ReplicaHandle",
+    "RoundRobinRouter",
+    "Router",
+    "make_router",
+]

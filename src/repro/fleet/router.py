@@ -1,0 +1,153 @@
+"""Request-routing policies for a replica fleet.
+
+A router sees every arriving request at its arrival instant and picks
+the replica that serves it; replicas never exchange requests afterwards
+(no work stealing), so placement quality decides fleet behaviour.  Four
+policies cover the design space explored by cluster-serving work:
+
+* **round-robin** — stateless cycling; the baseline every load balancer
+  implements first.
+* **least-outstanding** — classic least-outstanding-requests balancing
+  on live replica state.
+* **least-kv** — memory-aware placement: route to the replica whose KV
+  pool has the most free token slots (read from each replica's
+  ``UnifiedKVPool.free_map()`` or engine pools), breaking ties by
+  outstanding requests.  Long-context serving is KV-bound, so free KV is
+  a better congestion signal than request counts.
+* **length-aware** — shard long-context requests away from
+  short-request replicas, the long/short interference split of the
+  paper's Figure 11 scenario: one long prefill stalls every short
+  request batched behind it, so isolating the populations protects the
+  short requests' latency.
+
+Routers duck-type against :class:`repro.fleet.server.ReplicaHandle`
+(``outstanding_requests`` / ``outstanding_tokens`` / ``kv_free``), so
+they are unit-testable with stub replicas.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.types import Request
+from repro.workloads.datasets import LONG_INPUT_THRESHOLD
+
+__all__ = [
+    "LONG_INPUT_THRESHOLD",
+    "ROUTERS",
+    "LeastKVRouter",
+    "LeastOutstandingRouter",
+    "LengthAwareRouter",
+    "RoundRobinRouter",
+    "Router",
+    "make_router",
+]
+
+
+class Router(abc.ABC):
+    """Chooses the replica that serves one arriving request."""
+
+    name = "router"
+
+    @abc.abstractmethod
+    def route(self, request: Request, replicas: Sequence, now: float):
+        """Return the chosen replica handle (never None; fleet size >= 1)."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, request: Request, replicas: Sequence, now: float):
+        chosen = replicas[self._next % len(replicas)]
+        self._next += 1
+        return chosen
+
+
+class LeastOutstandingRouter(Router):
+    """Route to the replica with the fewest unfinished requests."""
+
+    name = "least-outstanding"
+
+    def route(self, request: Request, replicas: Sequence, now: float):
+        return min(
+            replicas,
+            key=lambda r: (r.outstanding_requests(), r.replica_id),
+        )
+
+
+class LeastKVRouter(Router):
+    """Route to the replica with the most free KV slots.
+
+    Reads each replica's live pool occupancy; ties (e.g. an idle fleet)
+    fall back to outstanding requests, then replica id, so the policy
+    stays deterministic.
+    """
+
+    name = "least-kv"
+
+    def route(self, request: Request, replicas: Sequence, now: float):
+        return min(
+            replicas,
+            key=lambda r: (-r.kv_free(), r.outstanding_requests(), r.replica_id),
+        )
+
+
+class LengthAwareRouter(Router):
+    """Partition the fleet into long-context and short-request pools.
+
+    The first ``ceil(long_fraction * N)`` replicas serve requests whose
+    input length is at least ``long_threshold`` tokens; the remainder
+    serve the short population.  Within a pool, placement is
+    least-outstanding-tokens, the strongest simple balancer.  With a
+    single replica the split degenerates to plain least-work routing.
+    """
+
+    name = "length-aware"
+
+    def __init__(
+        self,
+        long_threshold: int = LONG_INPUT_THRESHOLD,
+        long_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 < long_fraction < 1.0:
+            raise ValueError(f"long_fraction must be in (0, 1), got {long_fraction}")
+        self.long_threshold = long_threshold
+        self.long_fraction = long_fraction
+
+    def route(self, request: Request, replicas: Sequence, now: float):
+        pool = list(replicas)
+        if len(pool) > 1:
+            boundary = max(1, min(len(pool) - 1, round(len(pool) * self.long_fraction)))
+            if request.input_len >= self.long_threshold:
+                pool = pool[:boundary]
+            else:
+                pool = pool[boundary:]
+        return min(
+            pool,
+            key=lambda r: (r.outstanding_tokens(), r.replica_id),
+        )
+
+
+ROUTERS = {
+    "round-robin": RoundRobinRouter,
+    "least-outstanding": LeastOutstandingRouter,
+    "least-kv": LeastKVRouter,
+    "length-aware": LengthAwareRouter,
+}
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Build a routing policy by name (see :data:`ROUTERS`)."""
+    try:
+        factory = ROUTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; choose from {sorted(ROUTERS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,171 @@
+"""N replica serving systems behind one router on a shared clock.
+
+``FleetServer`` is the fleet-scale counterpart of a single system's
+``run``: every replica (any system built by
+``repro.experiments.systems.make_system`` — LoongServe, vLLM,
+DistServe, a replicated engine group, …) is reset onto one shared
+:class:`~repro.sim.engine.Simulator`, arrivals fire on that clock, and
+the router places each request using the replicas' *live* state (queue
+depths, KV pool occupancy) exactly as a fleet front-end would.
+
+``ReplicaHandle`` adapts the heterogeneous server shapes to the uniform
+probe surface routers consume, and rebuilds a per-replica
+:class:`~repro.types.ServeResult` afterwards; ``FleetResult`` is the
+merged fleet view plus the per-replica breakdown the load-imbalance
+metrics read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.fleet.router import Router
+from repro.metrics.fleet import merge_serve_results
+from repro.sim.engine import Simulator
+from repro.types import Request, ServeResult
+
+
+class ReplicaHandle:
+    """Uniform fleet-side view over one replica serving system."""
+
+    def __init__(self, replica_id: int, server) -> None:
+        self.replica_id = replica_id
+        self.server = server
+        self.routed: list[Request] = []
+
+    @property
+    def name(self) -> str:
+        return getattr(self.server, "name", type(self.server).__name__)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def prepare(self, sim: Simulator) -> None:
+        """Reset the replica and attach it to the shared clock."""
+        reset = getattr(self.server, "_reset", None)
+        if callable(reset):
+            reset()
+        self.server.use_simulator(sim)
+        self.routed = []
+
+    def submit(self, request: Request) -> None:
+        self.routed.append(request)
+        self.server.submit(request)
+
+    # -- live probes (read by routers) ---------------------------------------
+
+    def outstanding_requests(self) -> int:
+        """Routed requests not yet finished (aborts count as finished)."""
+        return sum(1 for r in self.routed if not r.finished)
+
+    def outstanding_tokens(self) -> int:
+        """Token-weighted outstanding work (queued + resident lengths)."""
+        return sum(r.current_len for r in self.routed if not r.finished)
+
+    def kv_free_map(self) -> dict[int, int]:
+        """Free KV slots per instance/engine, across server shapes."""
+        pool = getattr(self.server, "pool", None)
+        if pool is not None:
+            if hasattr(pool, "free_map"):  # UnifiedKVPool
+                return dict(pool.free_map())
+            return {0: pool.free}  # single-engine InstancePool
+        engines = getattr(self.server, "engines", None)
+        if engines:  # ReplicatedServer
+            return {i: engine.pool.free for i, engine in enumerate(engines)}
+        prefill = getattr(self.server, "prefill_engine", None)
+        decode = getattr(self.server, "decode_engine", None)
+        if prefill is not None and decode is not None:  # DistServe
+            return {0: prefill.pool.free, 1: decode.pool.free}
+        return {}
+
+    def kv_free(self) -> int:
+        return sum(self.kv_free_map().values())
+
+    # -- result assembly -----------------------------------------------------
+
+    def result(self, makespan: float) -> ServeResult:
+        """Per-replica ``ServeResult`` over the requests routed here."""
+        aborted = self._collect("aborted")
+        aborted_ids = {r.request_id for r in aborted}
+        stats = self._collect("iteration_stats")
+        return ServeResult(
+            system=self.name,
+            requests=[r for r in self.routed if r.request_id not in aborted_ids],
+            scaling_events=self._collect("scaling_events"),
+            iteration_stats=sorted(stats, key=lambda s: s.start_time),
+            makespan=makespan,
+            aborted=aborted,
+        )
+
+    def _collect(self, attr: str) -> list:
+        collected: list = []
+        for part in self._components():
+            collected.extend(getattr(part, attr, None) or [])
+        return collected
+
+    def _components(self) -> list:
+        parts = [self.server]
+        parts.extend(getattr(self.server, "engines", None) or [])
+        for sub in ("prefill_engine", "decode_engine"):
+            engine = getattr(self.server, sub, None)
+            if engine is not None:
+                parts.append(engine)
+        return parts
+
+
+@dataclass
+class FleetResult(ServeResult):
+    """Fleet-merged ``ServeResult`` plus the per-replica breakdown."""
+
+    per_replica: list[ServeResult] = field(default_factory=list)
+
+
+class FleetServer:
+    """Shard one workload trace across replicas via a routing policy."""
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        router: Router,
+        name: str | None = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = [
+            ReplicaHandle(i, server) for i, server in enumerate(replicas)
+        ]
+        self.router = router
+        base = getattr(replicas[0], "name", type(replicas[0]).__name__)
+        self.name = name or f"{base} x{len(replicas)} [{router.name}]"
+
+    def run(self, requests: list[Request]) -> FleetResult:
+        """Serve a trace across the fleet; returns the merged result."""
+        sim = Simulator()
+        for handle in self.replicas:
+            handle.prepare(sim)
+        for request in requests:
+            sim.call_at(
+                request.arrival_time,
+                self._make_arrival(request, sim),
+                label=f"arrival:{request.request_id}",
+            )
+        sim.run_until_idle()
+
+        per_replica = [handle.result(sim.now) for handle in self.replicas]
+        merged = merge_serve_results(per_replica, system=self.name)
+        return FleetResult(
+            system=merged.system,
+            requests=merged.requests,
+            scaling_events=merged.scaling_events,
+            iteration_stats=merged.iteration_stats,
+            makespan=merged.makespan,
+            aborted=merged.aborted,
+            per_replica=per_replica,
+        )
+
+    def _make_arrival(self, request: Request, sim: Simulator):
+        def _on_arrival() -> None:
+            handle = self.router.route(request, self.replicas, sim.now)
+            handle.submit(request)
+
+        return _on_arrival

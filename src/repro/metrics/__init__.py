@@ -1,14 +1,25 @@
-"""Serving metrics: normalised latencies, SLO attainment, goodput."""
+"""Serving metrics: normalised latencies, SLO attainment, goodput,
+fleet aggregation."""
 
+from repro.metrics.fleet import (
+    FleetLoadReport,
+    ReplicaLoad,
+    fleet_load_report,
+    merge_serve_results,
+)
 from repro.metrics.latency import LatencySummary, summarize_latency
 from repro.metrics.slo import IdealLatencyModel, SLOReport, max_rate_under_slo, slo_report
 from repro.metrics.summary import scale_event_histogram, throughput_tokens_per_s
 
 __all__ = [
+    "FleetLoadReport",
     "IdealLatencyModel",
     "LatencySummary",
+    "ReplicaLoad",
     "SLOReport",
+    "fleet_load_report",
     "max_rate_under_slo",
+    "merge_serve_results",
     "scale_event_histogram",
     "slo_report",
     "summarize_latency",

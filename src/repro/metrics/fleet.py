@@ -1,0 +1,120 @@
+"""Fleet-aggregated metrics: merged results and load-imbalance stats.
+
+A fleet run produces one ``ServeResult`` per replica; the paper's
+latency/SLO metrics apply to the *union* of requests, so
+``merge_serve_results`` folds the per-replica results into one (global
+makespan = the latest replica finish).  ``fleet_load_report`` keeps the
+per-replica view: how evenly the router spread requests, tokens, and
+busy time — the quantities that explain *why* one routing policy beats
+another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import ServeResult
+
+
+def merge_serve_results(
+    per_replica: Sequence[ServeResult],
+    system: str = "fleet",
+) -> ServeResult:
+    """Fold per-replica results into one fleet-wide ``ServeResult``.
+
+    Requests, aborts, scaling events, and iteration stats concatenate;
+    the fleet makespan is the maximum replica makespan (replicas on a
+    shared clock all report it; independently-run replicas report their
+    own, and the fleet is done only when the last one is).
+    """
+    if not per_replica:
+        raise ValueError("need at least one replica result")
+    stats = [s for result in per_replica for s in result.iteration_stats]
+    return ServeResult(
+        system=system,
+        requests=[r for result in per_replica for r in result.requests],
+        scaling_events=[e for result in per_replica for e in result.scaling_events],
+        iteration_stats=sorted(stats, key=lambda s: s.start_time),
+        makespan=max(result.makespan for result in per_replica),
+        aborted=[r for result in per_replica for r in result.aborted],
+    )
+
+
+@dataclass(frozen=True)
+class ReplicaLoad:
+    """Work one replica received and performed during a fleet run."""
+
+    replica_id: int
+    system: str
+    routed: int
+    finished: int
+    aborted: int
+    input_tokens: int
+    output_tokens: int
+    busy_seconds: float
+
+    @property
+    def total_tokens(self) -> int:
+        return self.input_tokens + self.output_tokens
+
+
+@dataclass(frozen=True)
+class FleetLoadReport:
+    """Per-replica load breakdown plus fleet imbalance statistics."""
+
+    replicas: tuple[ReplicaLoad, ...]
+
+    @property
+    def token_imbalance(self) -> float:
+        """Max/mean routed tokens across replicas (1.0 = perfect balance)."""
+        totals = [r.total_tokens for r in self.replicas]
+        mean = float(np.mean(totals)) if totals else 0.0
+        return max(totals) / mean if mean > 0 else 1.0
+
+    @property
+    def request_cv(self) -> float:
+        """Coefficient of variation of routed request counts."""
+        counts = [r.routed for r in self.replicas]
+        mean = float(np.mean(counts)) if counts else 0.0
+        return float(np.std(counts)) / mean if mean > 0 else 0.0
+
+    def render(self) -> str:
+        """Text table for the CLI."""
+        lines = [
+            "replica  system                      reqs  finished  aborted"
+            "      tokens   busy s"
+        ]
+        for load in self.replicas:
+            lines.append(
+                f"{load.replica_id:>7}  {load.system[:26]:<26}"
+                f"{load.routed:>6}{load.finished:>10}{load.aborted:>9}"
+                f"{load.total_tokens:>12,}{load.busy_seconds:>9.1f}"
+            )
+        lines.append(
+            f"token imbalance (max/mean): {self.token_imbalance:.2f}   "
+            f"request-count CV: {self.request_cv:.2f}"
+        )
+        return "\n".join(lines)
+
+
+def fleet_load_report(per_replica: Sequence[ServeResult]) -> FleetLoadReport:
+    """Summarise how a fleet run's work spread across replicas."""
+    loads = []
+    for replica_id, result in enumerate(per_replica):
+        routed = list(result.requests) + list(result.aborted)
+        loads.append(
+            ReplicaLoad(
+                replica_id=replica_id,
+                system=result.system,
+                routed=len(routed),
+                finished=len(result.finished_requests),
+                aborted=len(result.aborted),
+                input_tokens=sum(r.input_len for r in routed),
+                output_tokens=sum(r.generated for r in routed),
+                busy_seconds=sum(s.duration for s in result.iteration_stats),
+            )
+        )
+    return FleetLoadReport(replicas=tuple(loads))

@@ -70,10 +70,13 @@ class Simulator:
                 self._now = until
                 break
             event = self._queue.pop()
+            if getattr(event, "_cancelled", False):
+                # Cancelled timers are lazily discarded: they neither run
+                # nor consume the caller's event budget, so a timer-heavy
+                # trace cannot exhaust ``run_until_idle`` on no-ops.
+                continue
             self._now = event.time
-            timer_cancelled = getattr(event, "_cancelled", False)
-            if not timer_cancelled:
-                event.action()
+            event.action()
             self._events_processed += 1
             processed += 1
             if max_events is not None and processed >= max_events:

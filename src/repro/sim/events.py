@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 
 @dataclass(frozen=True, order=True)
@@ -74,6 +74,9 @@ class Timer:
 
     def cancel(self) -> None:
         self.cancelled = True
+        # The event stays in the heap (removal would be O(n)); flag it so
+        # the run loop discards it without executing or counting it.
+        object.__setattr__(self.event, "_cancelled", True)
 
 
 def make_noop() -> Callable[[], None]:

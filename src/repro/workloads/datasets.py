@@ -54,6 +54,12 @@ class LengthDistribution:
         return self.input_spec.maximum + self.output_spec.maximum
 
 
+# ShareGPT prompts top out at ~2.3K tokens while the long-document
+# datasets (L-Eval, LV-Eval) start at ~2.7K, so this threshold cleanly
+# splits the Mixed workload into its short and long populations (used by
+# length-aware fleet routing and offline trace sharding).
+LONG_INPUT_THRESHOLD = 2_600
+
 SHAREGPT = LengthDistribution(
     name="ShareGPT",
     input_spec=LengthSpec(log_mean=math.log(180.0), log_sigma=1.1, minimum=4, maximum=2300),

@@ -1,6 +1,5 @@
 """Tests for the analytical model (Eq. 7) and its least-squares fitting."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

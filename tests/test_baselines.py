@@ -10,7 +10,7 @@ from repro.experiments.systems import (
     build_static_sp,
     build_vllm,
 )
-from repro.types import Phase, RequestState
+from repro.types import Phase
 from repro.workloads.datasets import LEVAL, SHAREGPT
 from repro.workloads.trace_gen import clone_requests, make_trace
 from tests.conftest import make_request

@@ -44,6 +44,24 @@ class TestServeCLI:
         with pytest.raises(SystemExit):
             repro_main(["serve", "--system", "magic"])
 
+    def test_serve_fleet_prints_replica_loads(self, capsys):
+        code = repro_main(
+            ["serve", "--system", "loongserve", "--replicas", "3",
+             "--router", "least-kv", "--dataset", "sharegpt",
+             "--rate", "8", "-n", "12", "--seed", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LoongServe x3 [least-kv]" in out
+        assert "requests: 12/12 finished" in out
+        assert "SLO attainment:" in out
+        assert "per-replica load:" in out
+        assert "token imbalance" in out
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            repro_main(["serve", "--replicas", "2", "--router", "magic"])
+
 
 class TestExperimentsCLI:
     def test_figure2_runs(self, capsys):

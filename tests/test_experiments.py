@@ -3,7 +3,6 @@ paper's qualitative claims at reduced scale."""
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.experiments import endtoend, microbench, report

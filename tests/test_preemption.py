@@ -8,8 +8,6 @@ avoid it (§5.1).
 
 from dataclasses import replace
 
-import pytest
-
 from repro.config import default_config
 from repro.core.server import LoongServeServer
 from repro.types import RequestState

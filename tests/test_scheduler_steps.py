@@ -14,7 +14,6 @@ from repro.core.scaling_plan import (
     plan_scale_up,
 )
 from repro.core.sib import ScalingInformationBase
-from repro.costmodel.comm import CollectiveModel
 from repro.costmodel.latency import RooflineCostModel
 from repro.kvcache.unified import UnifiedKVPool
 from repro.model.spec import LWM_7B_1M
@@ -113,12 +112,13 @@ class TestDispatching:
         assert batch not in decision.coopted_batches
 
     def test_coopt_fires_with_large_gain(self, predictor):
-        """Phase 1 exhausts the obtainable memory; the Eq. 1/2 analysis
-        then co-opts the decode group's remaining headroom."""
+        """Phase 1 stops at the idle base group's tipping point; the
+        Eq. 1/2 analysis then co-opts the decode group's compute, raising
+        the budget enough for the rest of the queue."""
         batch = make_decode_batch((2, 3))
         pending = [make_request(input_len=3_000) for _ in range(4)]
         decision = select_prefill_requests(
-            pending, [0], {0: 4_000, 1: 0, 2: 3_500, 3: 3_500}, [batch],
+            pending, [0], {0: 5_000, 1: 0, 2: 4_000, 3: 4_000}, [batch],
             predictor, 2,
             SchedulerConfig(prefill_tipping_tokens=8_192),
             avg_decode_latency=1e9, now=0.0,
@@ -131,6 +131,58 @@ class TestDispatching:
             [], [0], {0: SLOTS}, [], predictor, 2, SchedulerConfig(), 0.0, 0.0
         )
         assert decision.is_empty
+
+    def test_successive_coopts_share_token_budget(self, predictor):
+        """Regression: a successful co-opt must advance the committed
+        token/future counters.  With stale counters the second co-optable
+        batch is gated against undercounted commitments and the joint
+        admission sails past the tipping point (``token_budget``)."""
+        b1 = make_decode_batch((1,))
+        b2 = make_decode_batch((2,))
+        pending = [make_request(input_len=600, output_len=5) for _ in range(10)]
+        tipping = 1_000
+        decision = select_prefill_requests(
+            pending, [0], {0: 100_000, 1: 100_000, 2: 100_000, 3: 0},
+            [b1, b2], predictor, 2,
+            SchedulerConfig(prefill_tipping_tokens=tipping),
+            avg_decode_latency=1e9, now=0.0,
+        )
+        assert len(decision.coopted_batches) == 2
+        # Joint compute budget: one share for the idle base instance plus
+        # one per co-opted instance — the two co-opts may never jointly
+        # admit past it.
+        budget = tipping * (
+            1 + sum(len(b.instance_ids) for b in decision.coopted_batches)
+        )
+        total = sum(r.current_len for r in decision.requests)
+        assert total <= budget
+
+    def test_coopt_respects_max_batch_size(self, predictor):
+        """Phase 2 admissions count toward the same batch-size cap that
+        phase 1 enforces."""
+        batch = make_decode_batch((1,))
+        pending = [make_request(input_len=100, output_len=5) for _ in range(10)]
+        decision = select_prefill_requests(
+            pending, [0], {0: 100_000, 1: 100_000, 2: 0, 3: 0}, [batch],
+            predictor, 2,
+            SchedulerConfig(max_batch_size=2, prefill_tipping_tokens=150),
+            avg_decode_latency=1e9, now=0.0,
+        )
+        assert len(decision.requests) <= 2
+
+    def test_coopt_memory_gate_stays_hard(self, predictor):
+        """Co-opting contributes compute, not memory: phase 2 may never
+        admit a request whose KV cannot fit the obtainable slots."""
+        batch = make_decode_batch((2, 3))
+        pending = [make_request(input_len=3_000) for _ in range(6)]
+        decision = select_prefill_requests(
+            pending, [0], {0: 5_000, 1: 0, 2: 4_000, 3: 4_000}, [batch],
+            predictor, 2,
+            SchedulerConfig(prefill_tipping_tokens=8_192),
+            avg_decode_latency=1e9, now=0.0,
+        )
+        committed = sum(r.current_len + 1 for r in decision.requests)
+        assert committed <= 13_000  # idle free + preemptable free
 
 
 class TestAllocation:

@@ -149,6 +149,68 @@ class TestElasticity:
         assert overlapped, "decode iterations should run during prefills"
 
 
+class TestColdStartCoopting:
+    """Regression: before any request finishes, AvgLat_d must be seeded
+    from the predictor, not hard-zeroed — a zero average nulls the Eq. 2
+    gain and disables co-opting for a run's entire warm-up."""
+
+    def _server_with_decode_batch(self):
+        from repro.core.batch import DecodeBatch, next_batch_id
+        from repro.parallel.groups import ParallelGroup
+
+        server = LoongServeServer(default_config())
+        batch = DecodeBatch(batch_id=next_batch_id())
+        batch.group = ParallelGroup(instance_ids=(2, 3), tensor_parallel=2)
+        for _ in range(2):
+            request = make_request(input_len=50, output_len=2_000)
+            request.generated = 1_000
+            request.prefill_end = 0.0
+            batch.requests.append(request)
+        server.decode_batches.append(batch)
+        return server, batch
+
+    def test_cold_average_is_zero_without_decode_batches(self):
+        server = LoongServeServer(default_config())
+        assert server._avg_decode_latency() == 0.0  # nothing to co-opt
+
+    def test_cold_average_seeded_from_predictor(self):
+        server, _ = self._server_with_decode_batch()
+        assert server._decode_latency_count == 0
+        assert server._avg_decode_latency() > 0.0
+
+    def test_measured_average_takes_over(self):
+        server, _ = self._server_with_decode_batch()
+        server._decode_latency_sum = 4.0
+        server._decode_latency_count = 2
+        assert server._avg_decode_latency() == pytest.approx(2.0)
+
+    def test_coopt_can_fire_on_cold_system(self):
+        """The seeded estimate lets the Eq. 1/2 analysis co-opt a decode
+        batch before the first request ever finishes, where the old
+        hard-zero average could not."""
+        from repro.config import SchedulerConfig
+        from repro.core.dispatching import select_prefill_requests
+
+        server, batch = self._server_with_decode_batch()
+        seeded = server._avg_decode_latency()
+        pending = [make_request(input_len=100) for _ in range(6)]
+        free = {0: 0, 1: 0, 2: 50_000, 3: 50_000}
+        config = SchedulerConfig(prefill_tipping_tokens=150)
+
+        def dispatch(avg):
+            return select_prefill_requests(
+                pending, [], free, [batch],
+                server.manager.predictor, 2, config,
+                avg_decode_latency=avg, now=0.0,
+            )
+
+        cold = dispatch(0.0)
+        assert not cold.coopted_batches  # zero gain: the old behaviour
+        warm = dispatch(seeded)
+        assert batch in warm.coopted_batches
+        assert len(warm.requests) > 1
+
+
 class TestSchedulerConfigKnobs:
     def test_small_max_batch_size(self):
         config = default_config(scheduler=SchedulerConfig(max_batch_size=1))

@@ -3,8 +3,6 @@
 import os
 import tempfile
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.core.sib import ScalingInformationBase
 from repro.costmodel.latency import RooflineCostModel

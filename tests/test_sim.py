@@ -110,6 +110,32 @@ class TestSimulator:
         sim.run(max_events=100)
         assert sim.events_processed == 100
 
+    def test_cancelled_timer_neither_runs_nor_counts(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.call_at(1.0, lambda: fired.append("cancelled"))
+        sim.call_at(2.0, lambda: fired.append("live"))
+        timer.cancel()
+        sim.run_until_idle()
+        assert fired == ["live"]
+        assert sim.events_processed == 1
+
+    def test_cancelled_timers_do_not_consume_event_budget(self):
+        """Regression: a timer-heavy trace whose timers were cancelled
+        must not exhaust ``run``'s ``max_events`` budget on no-ops."""
+        sim = Simulator()
+        fired = []
+        timers = [
+            sim.call_at(1.0, lambda i=i: fired.append(i)) for i in range(50)
+        ]
+        for timer in timers:
+            timer.cancel()
+        sim.call_at(2.0, lambda: fired.append("live"))
+        sim.run(max_events=1)
+        assert fired == ["live"]
+        assert sim.now == 2.0
+        assert sim.events_processed == 1
+
 
 class TestTraceRecorder:
     def test_records_and_filters(self):
