@@ -1,14 +1,27 @@
 """Benchmark defaults: every figure bench runs once per round (the
 experiments are deterministic), with reduced workload scale so the full
-suite regenerates every paper figure in minutes."""
+suite regenerates every paper figure in minutes.  ``--quick`` shrinks the
+workloads further for the CI smoke job, which only guards that every
+perf entry point still runs and meets its anchor assertions."""
 
 import pytest
 
 # Scale factor applied to serving-figure request counts.  1.0 reproduces
 # the EXPERIMENTS.md tables; the benchmark default keeps CI fast.
 BENCH_SCALE = 0.35
+QUICK_SCALE = 0.15
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: shrink benchmark workloads to the minimum that "
+             "still exercises every anchor assertion",
+    )
 
 
 @pytest.fixture(scope="session")
-def bench_scale() -> float:
-    return BENCH_SCALE
+def bench_scale(request) -> float:
+    return QUICK_SCALE if request.config.getoption("--quick") else BENCH_SCALE

@@ -6,13 +6,23 @@
     python -m repro gen-trace --dataset mixed --rate 0.5 -n 100 -o trace.jsonl
 
 Fleet-scale serving shards the trace across N replicas behind a router
-(`round-robin`, `least-outstanding`, `least-kv`, or `length-aware`) and
-reports fleet-aggregated latency, SLO attainment, and per-replica load:
+(`round-robin`, `least-outstanding`, `least-kv`, `length-aware`, or
+`affinity`) and reports fleet-aggregated latency, SLO attainment, and
+per-replica load:
 
     python -m repro serve --system loongserve --replicas 4 \
         --router least-kv --dataset mixed --rate 20 --num-requests 200
 
-(`python -m repro.experiments <figureN>` regenerates paper figures.)
+Multi-turn session serving (`--dataset sessions`; `--rate` then counts
+sessions/s and `-n` sessions) pairs with the prefix-KV cache and
+cache-affinity routing:
+
+    python -m repro serve --dataset sessions --prefix-cache \
+        --replicas 4 --router affinity --rate 1.0 -n 40
+
+(`python -m repro.experiments <figureN>` regenerates paper figures;
+`python -m repro.experiments sessions` runs the affinity-vs-baseline
+sweep.)
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from repro.metrics.fleet import fleet_load_report
 from repro.metrics.latency import summarize_latency
 from repro.metrics.summary import throughput_tokens_per_s
 from repro.viz.timeline import occupancy_timeline, utilization_summary
+from repro.sessions import make_session_trace
 from repro.workloads.datasets import DATASETS
 from repro.workloads.serialization import load_trace, save_trace
 from repro.workloads.trace_gen import clone_requests, make_trace
@@ -36,27 +47,55 @@ SYSTEM_CHOICES = [
 ]
 
 
+def _sample_trace(args: argparse.Namespace):
+    """Draw a fresh trace from the selected dataset (single source of the
+    sessions-vs-length-distribution dispatch, shared by serve/gen-trace)."""
+    if args.dataset == "sessions":
+        # Multi-turn conversations: --rate is sessions/s, -n sessions.
+        return make_session_trace(
+            rate=args.rate, num_sessions=args.num_requests, seed=args.seed
+        )
+    return make_trace(
+        DATASETS[args.dataset],
+        rate=args.rate, num_requests=args.num_requests, seed=args.seed,
+    )
+
+
 def _build_trace(args: argparse.Namespace):
     if args.trace:
         return load_trace(args.trace)
-    dataset = DATASETS[args.dataset]
-    return make_trace(
-        dataset, rate=args.rate, num_requests=args.num_requests, seed=args.seed
-    )
+    return _sample_trace(args)
+
+
+PREFIX_CACHE_SYSTEMS = ("loongserve", "loongserve-no-scaleup")
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         print(f"error: --replicas must be >= 1, got {args.replicas}", file=sys.stderr)
         return 2
+    if args.prefix_cache and args.system not in PREFIX_CACHE_SYSTEMS:
+        print(
+            f"error: --prefix-cache requires a LoongServe system "
+            f"({', '.join(PREFIX_CACHE_SYSTEMS)}), got {args.system!r}",
+            file=sys.stderr,
+        )
+        return 2
     trace = _build_trace(args)
+    router_kwargs = {}
+    if args.router == "length-aware" and args.long_threshold is not None:
+        router_kwargs["long_threshold"] = args.long_threshold
     if args.replicas > 1:
         system = make_fleet(
             args.system, replicas=args.replicas, router=args.router,
             requests=trace, num_gpus=args.num_gpus,
+            prefix_cache=args.prefix_cache, **router_kwargs,
         )
     else:
-        system = make_system(args.system, requests=trace, num_gpus=args.num_gpus)
+        system = make_system(
+            args.system, requests=trace, num_gpus=args.num_gpus,
+            prefix_cache=args.prefix_cache,
+        )
     result = system.run(clone_requests(trace))
     summary = summarize_latency(result)
 
@@ -73,6 +112,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ups = sum(1 for e in result.scaling_events if e.kind == "scale_up")
         downs = len(result.scaling_events) - ups
         print(f"elastic scaling: {ups} scale-ups, {downs} scale-downs")
+    if result.cache_stats:
+        cache = result.cache_stats
+        matched = cache.get("hit_tokens", 0)
+        total = matched + cache.get("miss_tokens", 0)
+        rate = matched / total if total else 0.0
+        print(f"prefix cache: {rate:.1%} token hit rate, "
+              f"{int(matched):,} prefill tokens saved, "
+              f"{int(cache.get('evicted_tokens', 0)):,} evicted")
     if args.replicas > 1:
         from repro.experiments.endtoend import reference_ideal_model
         from repro.metrics.slo import slo_report
@@ -97,10 +144,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_gen_trace(args: argparse.Namespace) -> int:
-    dataset = DATASETS[args.dataset]
-    trace = make_trace(
-        dataset, rate=args.rate, num_requests=args.num_requests, seed=args.seed
-    )
+    trace = _sample_trace(args)
     save_trace(trace, args.output)
     tokens = sum(r.input_len + r.output_len for r in trace)
     print(f"wrote {len(trace)} requests ({tokens:,} tokens) to {args.output}")
@@ -113,7 +157,8 @@ def main(argv: list[str] | None = None) -> int:
 
     serve = sub.add_parser("serve", help="replay a workload on a serving system")
     serve.add_argument("--system", choices=SYSTEM_CHOICES, default="loongserve")
-    serve.add_argument("--dataset", choices=sorted(DATASETS), default="sharegpt")
+    serve.add_argument("--dataset", choices=sorted([*DATASETS, "sessions"]),
+                       default="sharegpt")
     serve.add_argument("--rate", type=float, default=10.0)
     serve.add_argument("--num-requests", "-n", type=int, default=100)
     serve.add_argument("--seed", type=int, default=0)
@@ -125,10 +170,17 @@ def main(argv: list[str] | None = None) -> int:
                        help="serve with N independent replicas behind a router")
     serve.add_argument("--router", choices=sorted(ROUTERS), default="round-robin",
                        help="fleet routing policy (with --replicas > 1)")
+    serve.add_argument("--prefix-cache", action="store_true",
+                       help="keep finished requests' KV in a radix prefix "
+                            "cache (LoongServe systems)")
+    serve.add_argument("--long-threshold", type=int, default=None,
+                       help="input length (tokens) at which the length-aware "
+                            "router treats a request as long-context")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")
-    gen.add_argument("--dataset", choices=sorted(DATASETS), default="sharegpt")
+    gen.add_argument("--dataset", choices=sorted([*DATASETS, "sessions"]),
+                     default="sharegpt")
     gen.add_argument("--rate", type=float, default=10.0)
     gen.add_argument("--num-requests", "-n", type=int, default=100)
     gen.add_argument("--seed", type=int, default=0)

@@ -35,9 +35,10 @@ def build_no_scale_up_loongserve(
     num_gpus: int = 8,
     tensor_parallel: int = 2,
     gpus_per_node: int = 8,
+    prefix_cache: bool = False,
 ) -> LoongServeServer:
     """LoongServe with elastic scale-up disabled (Figure 13 ablation)."""
-    scheduler = SchedulerConfig(enable_scale_up=False)
+    scheduler = SchedulerConfig(enable_scale_up=False, enable_prefix_cache=prefix_cache)
     config = default_config(
         num_gpus=num_gpus,
         tensor_parallel=tensor_parallel,

@@ -32,6 +32,11 @@ class SchedulerConfig:
 
     ``sib_refresh_interval`` — iterations between re-fitting the analytical
     model from the SIB (the paper refits offline; we refresh periodically).
+
+    ``enable_prefix_cache`` — keep finished requests' KV in a radix
+    prefix cache (``repro.sessions``) so multi-turn follow-ups prefill
+    only their uncached suffix.  Off by default: single-turn behaviour is
+    bit-identical with the cache disabled.
     """
 
     decode_compute_bound_bs: int = 128
@@ -41,6 +46,7 @@ class SchedulerConfig:
     enable_scale_up: bool = True
     enable_scale_down: bool = True
     enable_multi_master: bool = True
+    enable_prefix_cache: bool = False
     sib_refresh_interval: int = 512
     scheduling_overhead_s: float = 0.0005
 

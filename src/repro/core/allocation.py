@@ -59,8 +59,8 @@ def allocate_instances(
     if not requests:
         return decision
 
-    input_lens = [r.current_len for r in requests]
-    need = sum(n + 1 for n in input_lens)
+    input_lens = [r.prefill_tokens for r in requests]
+    need = sum(r.kv_demand for r in requests)
     # Running batches are preemptable too: the drain takes effect at their
     # iteration boundary, one decode step (~10 ms) away.
     stable_batches = list(decode_batches)

@@ -84,7 +84,7 @@ def plan_batches(
     optimized: bool = True,
 ) -> BatchPlan:
     """Split ``requests`` over ``instance_ids`` into DoP-annotated batches."""
-    reqs = sorted(requests, key=lambda r: -r.current_len)
+    reqs = sorted(requests, key=lambda r: -r.prefill_tokens)
     insts = sorted(instance_ids, key=lambda i: free_slots.get(i, 0))
     n, m = len(reqs), len(insts)
     if n == 0:
@@ -96,9 +96,9 @@ def plan_batches(
     length_sum = [0.0] * (n + 1)
     length_sq_sum = [0.0] * (n + 1)
     for idx, request in enumerate(reqs, start=1):
-        need[idx] = need[idx - 1] + request.current_len + 1
-        length_sum[idx] = length_sum[idx - 1] + request.current_len
-        length_sq_sum[idx] = length_sq_sum[idx - 1] + request.current_len**2
+        need[idx] = need[idx - 1] + request.kv_demand
+        length_sum[idx] = length_sum[idx - 1] + request.prefill_tokens
+        length_sq_sum[idx] = length_sq_sum[idx - 1] + request.prefill_tokens**2
     slots = [0] * (m + 1)
     for idx, instance_id in enumerate(insts, start=1):
         slots[idx] = slots[idx - 1] + free_slots.get(instance_id, 0)

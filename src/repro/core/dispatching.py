@@ -108,18 +108,18 @@ def select_prefill_requests(
     while index < len(queue) and len(decision.requests) < config.max_batch_size:
         request = queue[index]
         needed = _slots_needed(request)
-        future = request.max_total_len + 1
+        future = request.future_kv_demand
         if committed_slots + needed > memory_budget:
             break
         exempt = system_empty and not decision.requests
         if not exempt and committed_future + future > future_budget:
             break  # would risk a future eviction
-        if decision.requests and committed_tokens + request.current_len > token_budget:
+        if decision.requests and committed_tokens + request.prefill_tokens > token_budget:
             break
         decision.requests.append(request)
         committed_slots += needed
         committed_future += future
-        committed_tokens += request.current_len
+        committed_tokens += request.prefill_tokens
         index += 1
 
     if index >= len(queue):
@@ -147,25 +147,25 @@ def select_prefill_requests(
         ):
             request = queue[index]
             needed = _slots_needed(request)
-            future = request.max_total_len + 1
+            future = request.future_kv_demand
             if committed_slots + extra_slots + needed > memory_budget:
                 break
             if committed_future + extra_future + future > future_budget:
                 break  # would risk a future eviction
             if (
                 decision.requests or extra
-            ) and committed_tokens + extra_tokens + request.current_len > coopt_token_budget:
+            ) and committed_tokens + extra_tokens + request.prefill_tokens > coopt_token_budget:
                 break  # past the enlarged tipping point
             extra.append(request)
             extra_slots += needed
-            extra_tokens += request.current_len
+            extra_tokens += request.prefill_tokens
             extra_future += future
             index += 1
         if not extra:
             continue
 
         combined_instances = decision.instances + list(batch.instance_ids)
-        combined_lens = [r.current_len for r in decision.requests + extra]
+        combined_lens = [r.prefill_tokens for r in decision.requests + extra]
         iter_time = predictor.prefill_time(combined_lens, combined_instances, tensor_parallel)
 
         cost = _preemption_cost(batch, iter_time)
@@ -190,10 +190,11 @@ def select_prefill_requests(
 
 
 def _slots_needed(request: Request) -> int:
-    """KV slots a prefill allocates: the tokens to process plus the first
-    generated token.  ``current_len`` covers preempted requests, whose
-    recomputation re-prefills their generated tokens too."""
-    return request.current_len + 1
+    """KV slots a prefill allocates: the uncached tokens to process plus
+    the first generated token.  ``prefill_tokens`` covers preempted
+    requests (recomputation re-prefills their generated tokens too) and
+    nets out any prefix the KV cache already holds."""
+    return request.kv_demand
 
 
 def _group_free(batch: DecodeBatch, free_slots: dict[int, int]) -> int:
@@ -232,5 +233,5 @@ def _dispatch_gain(
     wait_estimate = max(0.0, avg_decode_latency - batch.min_exec_time(now))
     gain = 0.0
     for request in extra:
-        gain += wait_estimate / request.current_len
+        gain += wait_estimate / request.prefill_tokens
     return gain

@@ -55,7 +55,7 @@ def plan_scale_down(
     passes through).  When scale-down is disabled the whole group is kept
     with a balanced split.
     """
-    tokens_needed = sum(r.current_len + 1 for r in requests)
+    tokens_needed = sum(r.kv_demand for r in requests)
     headroom = DECODE_HEADROOM_ITERATIONS * len(requests)
 
     if not config.enable_scale_down:
@@ -94,8 +94,8 @@ def _place_requests(
     """
     free = {i: pool.pools[i].free for i in kept}
     per_request: dict[int, Placement] = {}
-    for request in sorted(requests, key=lambda r: -r.current_len):
-        tokens = request.current_len + 1
+    for request in sorted(requests, key=lambda r: -r.prefill_tokens):
+        tokens = request.kv_demand
         placement: Placement = {}
         for instance_id in sorted(free, key=lambda i: -free[i]):
             if tokens == 0:

@@ -18,6 +18,7 @@ from repro.core.global_manager import GlobalManager, PlannedPrefill, SchedulePla
 from repro.core.scaling_plan import assign_masters, pick_append_instance
 from repro.costmodel.latency import RooflineCostModel
 from repro.kvcache.unified import UnifiedKVPool
+from repro.sessions.prefix_cache import PrefixKVCache
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
 from repro.types import (
@@ -63,6 +64,11 @@ class LoongServeServer:
             i: ElasticInstance(instance_id=i, pool=self.pool.pools[i])
             for i in range(config.num_instances)
         }
+        self.prefix_cache: PrefixKVCache | None = (
+            PrefixKVCache(self.pool)
+            if config.scheduler.enable_prefix_cache
+            else None
+        )
         self.pending: list[Request] = []
         self.decode_batches: list[DecodeBatch] = []
         self.finished: list[Request] = []
@@ -94,6 +100,11 @@ class LoongServeServer:
             iteration_stats=self.iteration_stats,
             makespan=self.sim.now,
             aborted=self.aborted,
+            cache_stats=(
+                self.prefix_cache.stats.as_dict()
+                if self.prefix_cache is not None
+                else None
+            ),
         )
 
     def use_simulator(self, sim: Simulator) -> None:
@@ -130,6 +141,7 @@ class LoongServeServer:
     def _tick(self) -> None:
         self._tick_pending = False
         self._drop_impossible_requests()
+        self._match_prefixes()
         prefilling = [
             r for r in self._all_requests if r.state == RequestState.PREFILLING
         ]
@@ -153,6 +165,8 @@ class LoongServeServer:
             if request.max_total_len + 1 > capacity:
                 request.state = RequestState.FINISHED  # terminal, but flagged
                 self.aborted.append(request)
+                if self.prefix_cache is not None:
+                    self.prefix_cache.release(request.request_id)
                 self.trace.record(
                     self.sim.now, "abort", request=request.request_id,
                     needed=request.max_total_len, capacity=capacity,
@@ -160,6 +174,26 @@ class LoongServeServer:
             else:
                 keep.append(request)
         self.pending = keep
+
+    def _match_prefixes(self) -> None:
+        """Match pending prompts against the prefix cache and make room.
+
+        Every tick re-matches (earlier turns may have finished since the
+        last one, growing the tree) and pins the matched paths; then LRU
+        cache extents are evicted until the pending batch's *uncached*
+        KV demand fits the pool — the cache only ever occupies memory no
+        live request wants.
+        """
+        if self.prefix_cache is None:
+            return
+        for request in self.pending:
+            request.cached_prefix_len = self.prefix_cache.match_and_lock(
+                request, now=self.sim.now
+            )
+        demand = sum(r.kv_demand for r in self.pending)
+        shortfall = demand - self.pool.total_free
+        if shortfall > 0:
+            self.prefix_cache.evict(shortfall)
 
     def _enact(self, plan: SchedulePlan) -> None:
         for batch, instance_id in plan.decode_scale_downs:
@@ -194,6 +228,9 @@ class LoongServeServer:
                 # KV vanished (should not happen); recompute from scratch.
                 request.state = RequestState.PREEMPTED
                 request.preemptions += 1
+                if self.prefix_cache is not None:
+                    self.prefix_cache.release(request.request_id)
+                    request.cached_prefix_len = 0
                 self.pending.append(request)
                 self.pending.sort(key=lambda r: r.arrival_time)
                 continue
@@ -221,9 +258,13 @@ class LoongServeServer:
             self.pool.place(
                 request.request_id, planned.scale_down.per_request[request.request_id]
             )
+            if self.prefix_cache is not None:
+                self.prefix_cache.note_prefill(request)
 
+        # Only the uncached suffix is computed (and was allocated); a
+        # matched prefix re-uses its resident KV at zero prefill cost.
         duration = self.cost_model.prefill_time(
-            [r.current_len for r in task.requests],
+            [r.prefill_tokens for r in task.requests],
             task.group.instance_ids,
             self.config.tensor_parallel,
         )
@@ -422,6 +463,8 @@ class LoongServeServer:
                 return masters
             if self.config.scheduler.enable_scale_up and self._merge_sibling(batch):
                 continue
+            if self._reclaim_cached(batch.batch_size - master_free, list(masters)):
+                continue  # cache extents freed; retry the capacity check
             victim = max(batch.requests, key=lambda r: r.arrival_time)
             self._preempt_request(victim, batch)
         self._remove_batch(batch)
@@ -476,6 +519,11 @@ class LoongServeServer:
         batch.remove(request)
         request.state = RequestState.PREEMPTED
         request.preemptions += 1
+        if self.prefix_cache is not None:
+            # Unpin the matched prefix; recomputation re-matches whatever
+            # is still cached when the request is re-dispatched.
+            self.prefix_cache.release(request.request_id)
+            request.cached_prefix_len = 0
         self.pending.append(request)
         self.pending.sort(key=lambda r: r.arrival_time)
         self.trace.record(self.sim.now, "preempt", request=request.request_id)
@@ -509,6 +557,10 @@ class LoongServeServer:
                 candidates = [
                     i for i in batch.instance_ids if self.pool.pools[i].free > 0
                 ]
+            if not candidates and self._reclaim_cached(1, list(batch.instance_ids)):
+                candidates = [
+                    i for i in batch.instance_ids if self.pool.pools[i].free > 0
+                ]
             if candidates:
                 target = pick_append_instance(tuple(candidates), self.pool)
                 self.pool.extend(request.request_id, target, 1)
@@ -524,12 +576,30 @@ class LoongServeServer:
     def _finish_request(self, request: Request) -> None:
         request.state = RequestState.FINISHED
         request.finish_time = self.sim.now
-        self.pool.evict(request.request_id)
+        if self.prefix_cache is not None and request.token_ids is not None:
+            # Donate the KV to the prefix cache: the full sequence (prompt
+            # + generated answer) is the prefix of the conversation's next
+            # turn.  The cache takes ownership of the slots in place.
+            generated = (request.output_token_ids or ())[: request.generated]
+            full_tokens = request.token_ids + tuple(generated)
+            self.prefix_cache.adopt_finished(request, full_tokens, now=self.sim.now)
+        else:
+            self.pool.evict(request.request_id)
+            if self.prefix_cache is not None:
+                self.prefix_cache.release(request.request_id)
         self.finished.append(request)
         if request.prefill_end is not None:
             self._decode_latency_sum += self.sim.now - request.prefill_end
             self._decode_latency_count += 1
         self.trace.record(self.sim.now, "finish", request=request.request_id)
+
+    def _reclaim_cached(self, num_tokens: int, instance_ids: list[int]) -> bool:
+        """Evict unlocked cache extents on ``instance_ids``; True when any
+        slots were freed (decode pressure prefers dropping cached prefixes
+        over preempting live requests)."""
+        if self.prefix_cache is None:
+            return False
+        return self.prefix_cache.evict(num_tokens, instance_ids=instance_ids) > 0
 
     def _remove_batch(self, batch: DecodeBatch) -> None:
         if batch in self.decode_batches:

@@ -114,6 +114,23 @@ def _run_fleet(args: argparse.Namespace) -> None:
     print(" removes the Figure-11 prefill interference fleet-wide)")
 
 
+def _run_sessions(args: argparse.Namespace) -> None:
+    from repro.experiments import sessions
+
+    curves = sessions.session_sweep(scale=args.scale)
+    print("Sessions — 4x LoongServe replicas (prefix-KV cache), multi-turn workload")
+    print(sessions.render_session_curves(curves))
+    advantage = sessions.affinity_advantage(curves)
+    print(
+        f"\naffinity vs round-robin at {advantage['rate']:.1f} sessions/s: "
+        f"{advantage['input_token_ratio']:.2f}x lower per-token prefill latency, "
+        f"hit rate {advantage['affinity_hit_rate']:.1%} "
+        f"vs {advantage['round_robin_hit_rate']:.1%}"
+    )
+    print("(routing follow-up turns to the replica holding their conversation's")
+    print(" KV prefix turns the shared context into skipped prefill work)")
+
+
 FIGURES = {
     "figure2": _run_figure2,
     "figure3": _run_figure3,
@@ -124,6 +141,7 @@ FIGURES = {
     "figure14": _run_figure14,
     "figure15": _run_figure15,
     "fleet": _run_fleet,
+    "sessions": _run_sessions,
 }
 
 

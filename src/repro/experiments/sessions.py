@@ -1,0 +1,141 @@
+"""Multi-turn session serving: cache-affinity routing vs. baselines.
+
+A rate sweep over the Sessions conversation workload with N LoongServe
+replicas (prefix-KV cache armed) behind each routing policy.  Stateless
+policies scatter a conversation's turns across the fleet, so a follow-up
+turn usually lands on a replica that never saw the session and
+re-prefills the whole context; cache-affinity routing sends each turn to
+the replica holding the longest matching prefix, which turns the shared
+context into pure prefill savings.  The sweep reports the paper's
+normalised-latency metrics plus the cache telemetry that explains the
+gap: per-policy prefix hit rate and fleet-wide saved prefill tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.endtoend import RatePoint, SystemCurve, reference_ideal_model
+from repro.experiments.systems import make_fleet
+from repro.metrics.fleet import fleet_load_report
+from repro.metrics.latency import summarize_latency
+from repro.metrics.slo import slo_report
+from repro.sessions import SESSIONS, SessionSpec, make_session_trace
+from repro.workloads.trace_gen import clone_requests
+
+SESSION_ROUTERS = ["round-robin", "least-kv", "affinity"]
+# Session arrival rates (sessions/s, each session ~`mean_turns` requests);
+# chosen so a 4-replica fleet moves from relaxed to clearly contended.
+SESSION_RATES = [0.4, 0.8, 1.2]
+SESSION_WINDOW_S = 25.0
+
+
+@dataclass
+class SessionCurve:
+    """One router's rate sweep plus per-rate cache telemetry."""
+
+    router: str
+    curve: SystemCurve
+    hit_rates: list[float] = field(default_factory=list)
+    saved_tokens: list[int] = field(default_factory=list)
+
+
+def session_sweep(
+    system: str = "loongserve",
+    routers: Sequence[str] = tuple(SESSION_ROUTERS),
+    rates: Sequence[float] = tuple(SESSION_RATES),
+    replicas: int = 4,
+    spec: SessionSpec = SESSIONS,
+    num_gpus: int = 8,
+    scale: float = 1.0,
+    seed: int = 11,
+    min_sessions: int = 10,
+) -> list[SessionCurve]:
+    """Sweep session arrival rate under each router, caches armed."""
+    ideal = reference_ideal_model(num_gpus=num_gpus)
+    results = {
+        name: SessionCurve(router=name, curve=SystemCurve(system=name))
+        for name in routers
+    }
+    for rate in rates:
+        count = max(int(min_sessions * scale), int(rate * SESSION_WINDOW_S * scale))
+        trace = make_session_trace(spec, rate=rate, num_sessions=count, seed=seed)
+        for name in routers:
+            fleet = make_fleet(
+                system, replicas=replicas, router=name,
+                requests=trace, num_gpus=num_gpus, prefix_cache=True,
+            )
+            result = fleet.run(clone_requests(trace))
+            latency = summarize_latency(result)
+            slo = slo_report(result, ideal)
+            results[name].curve.points.append(
+                RatePoint(
+                    rate=rate,
+                    per_token=latency.per_token,
+                    input_token=latency.input_token,
+                    output_token=latency.output_token,
+                    attainment=slo.attainment,
+                    finished=latency.finished,
+                    total=slo.total,
+                    aborted=len(result.aborted),
+                    scale_up_events=sum(
+                        1 for e in result.scaling_events if e.kind == "scale_up"
+                    ),
+                )
+            )
+            report = fleet_load_report(result.per_replica)
+            cache = result.cache_stats or {}
+            total = cache.get("hit_tokens", 0) + cache.get("miss_tokens", 0)
+            results[name].hit_rates.append(
+                cache.get("hit_tokens", 0) / total if total else 0.0
+            )
+            results[name].saved_tokens.append(report.saved_prefill_tokens)
+    return [results[name] for name in routers]
+
+
+def affinity_advantage(curves: Sequence[SessionCurve]) -> dict[str, float]:
+    """Headline comparison at the highest swept rate.
+
+    Returns round-robin / affinity ratios of mean per-token input
+    (prefill) latency and overall per-token latency, plus affinity's
+    prefix hit rate — the numbers showing that keeping a conversation on
+    the replica holding its KV converts the shared context into saved
+    prefill (> 1.0 ratios when affinity wins).
+    """
+    by_name = {c.router: c for c in curves}
+    rr = by_name["round-robin"].curve.points[-1]
+    aff = by_name["affinity"].curve.points[-1]
+    return {
+        "input_token_ratio": (
+            rr.input_token / aff.input_token if aff.input_token else float("inf")
+        ),
+        "per_token_ratio": (
+            rr.per_token / aff.per_token if aff.per_token else float("inf")
+        ),
+        "affinity_hit_rate": by_name["affinity"].hit_rates[-1],
+        "round_robin_hit_rate": by_name["round-robin"].hit_rates[-1],
+        "rate": aff.rate,
+    }
+
+
+def render_session_curves(curves: Sequence[SessionCurve]) -> str:
+    """Text table: one row per (router, rate) measurement."""
+    lines = [
+        "router             rate  per-tok ms  input ms  output ms"
+        "  attain  fin/total  hit-rate  saved-tok"
+    ]
+    for session_curve in curves:
+        rows = zip(
+            session_curve.curve.points,
+            session_curve.hit_rates,
+            session_curve.saved_tokens,
+        )
+        for point, hit_rate, saved in rows:
+            lines.append(
+                f"{session_curve.router:<18}{point.rate:>5.1f}"
+                f"{point.per_token * 1000:>12.2f}{point.input_token * 1000:>10.2f}"
+                f"{point.output_token * 1000:>11.2f}{point.attainment:>8.1%}"
+                f"{point.finished:>6}/{point.total:<5}{hit_rate:>8.1%}{saved:>11,}"
+            )
+    return "\n".join(lines)

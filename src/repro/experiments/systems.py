@@ -16,7 +16,7 @@ from repro.baselines.replicated import ReplicatedServer
 from repro.baselines.splitfuse import SplitFuseServer, ideal_chunk_size
 from repro.baselines.static_sp import StaticSPServer
 from repro.baselines.vllm import PrefillPriorityPolicy, VLLMServer
-from repro.config import default_config
+from repro.config import SchedulerConfig, default_config
 from repro.types import Request
 
 # DeepSpeed-MII crashes ("illegal memory access") past 32K-token prompts
@@ -147,12 +147,16 @@ def make_fleet(
     requests: Sequence[Request] | None = None,
     num_gpus: int = 8,
     gpus_per_node: int = 8,
+    prefix_cache: bool = False,
     **router_kwargs,
 ):
     """Build a fleet of identical replicas behind a routing policy.
 
     ``system`` is any :func:`make_system` name; ``num_gpus`` is the GPU
     count *per replica* (the fleet spans ``replicas * num_gpus`` GPUs).
+    ``prefix_cache`` arms every replica's prefix-KV cache (LoongServe
+    replicas only) — required for ``router="affinity"`` to have any
+    state to match against.
     """
     from repro.fleet import FleetServer, make_router
 
@@ -160,7 +164,7 @@ def make_fleet(
         raise ValueError(f"need at least one replica, got {replicas}")
     servers = [
         make_system(system, requests=requests, num_gpus=num_gpus,
-                    gpus_per_node=gpus_per_node)
+                    gpus_per_node=gpus_per_node, prefix_cache=prefix_cache)
         for _ in range(replicas)
     ]
     return FleetServer(servers, make_router(router, **router_kwargs))
@@ -171,14 +175,27 @@ def make_system(
     requests: Sequence[Request] | None = None,
     num_gpus: int = 8,
     gpus_per_node: int = 8,
+    prefix_cache: bool = False,
 ):
-    """Build any evaluated system by its paper name."""
+    """Build any evaluated system by its paper name.
+
+    ``prefix_cache=True`` enables the radix prefix-KV cache
+    (``repro.sessions``); it is a LoongServe scheduler feature, so other
+    systems reject it rather than silently serving without one.
+    """
+    if prefix_cache and name not in ("loongserve", "loongserve-no-scaleup"):
+        raise ValueError(
+            f"prefix_cache is only supported on LoongServe systems, not {name!r}"
+        )
+    cached_scheduler = SchedulerConfig(enable_prefix_cache=True)
     builders = {
         "loongserve": lambda: build_loongserve(
-            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node,
+            scheduler=cached_scheduler if prefix_cache else None,
         ),
         "loongserve-no-scaleup": lambda: build_no_scale_up_loongserve(
-            num_gpus=num_gpus, gpus_per_node=gpus_per_node
+            num_gpus=num_gpus, gpus_per_node=gpus_per_node,
+            prefix_cache=prefix_cache,
         ),
         "vllm": lambda: build_vllm(num_gpus=num_gpus, gpus_per_node=gpus_per_node),
         "deepspeed-mii": lambda: build_splitfuse(

@@ -10,6 +10,7 @@ decide placement per arriving request.
 from repro.fleet.router import (
     LONG_INPUT_THRESHOLD,
     ROUTERS,
+    CacheAffinityRouter,
     LeastKVRouter,
     LeastOutstandingRouter,
     LengthAwareRouter,
@@ -22,6 +23,7 @@ from repro.fleet.server import FleetResult, FleetServer, ReplicaHandle
 __all__ = [
     "LONG_INPUT_THRESHOLD",
     "ROUTERS",
+    "CacheAffinityRouter",
     "FleetResult",
     "FleetServer",
     "LeastKVRouter",

@@ -19,10 +19,20 @@ policies cover the design space explored by cluster-serving work:
   paper's Figure 11 scenario: one long prefill stalls every short
   request batched behind it, so isolating the populations protects the
   short requests' latency.
+* **affinity** — cache-affinity placement for multi-turn sessions: send
+  each request to the replica whose prefix-KV cache holds the longest
+  matching prefix of its prompt (probed live via
+  ``ReplicaHandle.prefix_match_len``), so follow-up turns land where
+  their conversation's KV already lives.  Requests with no match
+  anywhere (session openers, single-turn traffic) fall back to
+  least-kv placement.
 
 Routers duck-type against :class:`repro.fleet.server.ReplicaHandle`
-(``outstanding_requests`` / ``outstanding_tokens`` / ``kv_free``), so
-they are unit-testable with stub replicas.
+(``outstanding_requests`` / ``outstanding_tokens`` / ``kv_free`` /
+``prefix_match_len``), so they are unit-testable with stub replicas.
+
+All tie-breaks end on the replica id, so every policy is deterministic:
+equal-state replicas always resolve to the lowest id.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.workloads.datasets import LONG_INPUT_THRESHOLD
 __all__ = [
     "LONG_INPUT_THRESHOLD",
     "ROUTERS",
+    "CacheAffinityRouter",
     "LeastKVRouter",
     "LeastOutstandingRouter",
     "LengthAwareRouter",
@@ -134,11 +145,44 @@ class LengthAwareRouter(Router):
         )
 
 
+class CacheAffinityRouter(Router):
+    """Route follow-up turns to the replica holding their KV prefix.
+
+    The router probes every replica's prefix cache for the longest
+    resident prefix of the request's prompt and places the request
+    there; the memory saved (and prefill skipped) scales with the match
+    length, so the longest match wins outright.  With no match anywhere
+    — session openers, or plain single-turn traffic — the choice falls
+    back to least-kv order (most free slots, then fewest outstanding
+    requests, then lowest replica id), which both balances load and
+    spreads new sessions across the fleet.
+    """
+
+    name = "affinity"
+
+    def route(self, request: Request, replicas: Sequence, now: float):
+        return min(
+            replicas,
+            key=lambda r: (
+                -self._match_len(r, request),
+                -r.kv_free(),
+                r.outstanding_requests(),
+                r.replica_id,
+            ),
+        )
+
+    @staticmethod
+    def _match_len(replica, request: Request) -> int:
+        probe = getattr(replica, "prefix_match_len", None)
+        return probe(request) if callable(probe) else 0
+
+
 ROUTERS = {
     "round-robin": RoundRobinRouter,
     "least-outstanding": LeastOutstandingRouter,
     "least-kv": LeastKVRouter,
     "length-aware": LengthAwareRouter,
+    "affinity": CacheAffinityRouter,
 }
 
 

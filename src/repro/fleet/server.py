@@ -81,6 +81,14 @@ class ReplicaHandle:
     def kv_free(self) -> int:
         return sum(self.kv_free_map().values())
 
+    def prefix_match_len(self, request: Request) -> int:
+        """Longest prompt prefix resident in this replica's prefix-KV
+        cache (0 for replicas without one, or token-less requests)."""
+        cache = getattr(self.server, "prefix_cache", None)
+        if cache is None or request.token_ids is None:
+            return 0
+        return cache.peek_match(request.token_ids)
+
     # -- result assembly -----------------------------------------------------
 
     def result(self, makespan: float) -> ServeResult:
@@ -88,6 +96,7 @@ class ReplicaHandle:
         aborted = self._collect("aborted")
         aborted_ids = {r.request_id for r in aborted}
         stats = self._collect("iteration_stats")
+        cache = getattr(self.server, "prefix_cache", None)
         return ServeResult(
             system=self.name,
             requests=[r for r in self.routed if r.request_id not in aborted_ids],
@@ -95,6 +104,7 @@ class ReplicaHandle:
             iteration_stats=sorted(stats, key=lambda s: s.start_time),
             makespan=makespan,
             aborted=aborted,
+            cache_stats=cache.stats.as_dict() if cache is not None else None,
         )
 
     def _collect(self, attr: str) -> list:
@@ -160,6 +170,7 @@ class FleetServer:
             iteration_stats=merged.iteration_stats,
             makespan=merged.makespan,
             aborted=merged.aborted,
+            cache_stats=merged.cache_stats,
             per_replica=per_replica,
         )
 

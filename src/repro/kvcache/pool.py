@@ -23,14 +23,19 @@ class InstancePool:
     instance_id: int
     capacity: int
     _owned: dict[int, int] = field(default_factory=dict)
+    # Incrementally maintained sum of ``_owned`` — ``used`` sits on the
+    # hot scheduling path (free-slot probes every tick), so recomputing
+    # the sum per call is avoided.
+    _used: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError(f"pool capacity must be positive, got {self.capacity}")
+        self._used = sum(self._owned.values())
 
     @property
     def used(self) -> int:
-        return sum(self._owned.values())
+        return self._used
 
     @property
     def free(self) -> int:
@@ -57,6 +62,7 @@ class InstancePool:
                 f"only {self.free} free of {self.capacity}"
             )
         self._owned[request_id] = self._owned.get(request_id, 0) + num_tokens
+        self._used += num_tokens
 
     def release(self, request_id: int, num_tokens: int | None = None) -> int:
         """Free a request's slots (all of them when ``num_tokens`` is None).
@@ -68,14 +74,17 @@ class InstancePool:
             return 0
         if num_tokens is None or num_tokens >= held:
             del self._owned[request_id]
+            self._used -= held
             return held
         if num_tokens < 0:
             raise ValueError("num_tokens must be non-negative")
         self._owned[request_id] = held - num_tokens
+        self._used -= num_tokens
         return num_tokens
 
     def release_all(self) -> None:
         self._owned.clear()
+        self._used = 0
 
     def snapshot(self) -> dict[int, int]:
         """Copy of the ownership map (request id -> slots)."""

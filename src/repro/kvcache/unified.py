@@ -117,6 +117,43 @@ class UnifiedKVPool:
             freed += self.pools[instance_id].release(request_id, tokens)
         return freed
 
+    def reassign(self, src_owner: int, dst_owner: int, num_tokens: int) -> Placement:
+        """Hand ``num_tokens`` of one owner's slots to another owner in
+        place (no data movement — the slots stay on their instances).
+
+        Used by the prefix-KV cache when a radix extent splits or adopts a
+        finished request's suffix.  Tokens are taken from the source's
+        instances in ascending id order; returns the transferred split.
+        """
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be non-negative")
+        placement = self._placements.get(src_owner, {})
+        held = sum(placement.values())
+        if held < num_tokens:
+            raise ValueError(
+                f"owner {src_owner} holds {held} tokens, cannot reassign {num_tokens}"
+            )
+        moved: Placement = {}
+        remaining = num_tokens
+        for instance_id in sorted(placement):
+            if remaining == 0:
+                break
+            take = min(placement[instance_id], remaining)
+            self.pools[instance_id].release(src_owner, take)
+            self.pools[instance_id].allocate(dst_owner, take)
+            placement[instance_id] -= take
+            if placement[instance_id] == 0:
+                del placement[instance_id]
+            moved[instance_id] = take
+            remaining -= take
+        if not placement:
+            self._placements.pop(src_owner, None)
+        if moved:
+            dst = self._placements.setdefault(dst_owner, {})
+            for instance_id, tokens in moved.items():
+                dst[instance_id] = dst.get(instance_id, 0) + tokens
+        return moved
+
     def move(self, request_id: int, src: int, dst: int, num_tokens: int) -> None:
         """Migrate tokens of one request between instances (bookkeeping
         only — the time cost is charged by the caller via the cost model)."""

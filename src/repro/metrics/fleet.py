@@ -40,7 +40,21 @@ def merge_serve_results(
         iteration_stats=sorted(stats, key=lambda s: s.start_time),
         makespan=max(result.makespan for result in per_replica),
         aborted=[r for result in per_replica for r in result.aborted],
+        cache_stats=merge_cache_stats(per_replica),
     )
+
+
+def merge_cache_stats(per_replica: Sequence[ServeResult]) -> dict[str, float] | None:
+    """Sum per-replica prefix-cache counters (None when no replica has a
+    cache — the counters are plain sums, so fleet totals stay exact)."""
+    with_stats = [r.cache_stats for r in per_replica if r.cache_stats is not None]
+    if not with_stats:
+        return None
+    merged: dict[str, float] = {}
+    for stats in with_stats:
+        for key, value in stats.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 @dataclass(frozen=True)
@@ -55,10 +69,19 @@ class ReplicaLoad:
     input_tokens: int
     output_tokens: int
     busy_seconds: float
+    # Prefix-cache counters (0 on replicas serving without a cache).
+    prefix_hit_tokens: int = 0
+    prefix_miss_tokens: int = 0
 
     @property
     def total_tokens(self) -> int:
         return self.input_tokens + self.output_tokens
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefill tokens served from this replica's cache."""
+        total = self.prefix_hit_tokens + self.prefix_miss_tokens
+        return self.prefix_hit_tokens / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -81,22 +104,44 @@ class FleetLoadReport:
         mean = float(np.mean(counts)) if counts else 0.0
         return float(np.std(counts)) / mean if mean > 0 else 0.0
 
+    @property
+    def saved_prefill_tokens(self) -> int:
+        """Fleet-wide prefill tokens skipped via prefix-cache hits."""
+        return sum(r.prefix_hit_tokens for r in self.replicas)
+
+    @property
+    def has_prefix_caches(self) -> bool:
+        return any(
+            r.prefix_hit_tokens or r.prefix_miss_tokens for r in self.replicas
+        )
+
     def render(self) -> str:
         """Text table for the CLI."""
-        lines = [
+        with_cache = self.has_prefix_caches
+        header = (
             "replica  system                      reqs  finished  aborted"
             "      tokens   busy s"
-        ]
+        )
+        if with_cache:
+            header += "  hit-rate"
+        lines = [header]
         for load in self.replicas:
-            lines.append(
+            row = (
                 f"{load.replica_id:>7}  {load.system[:26]:<26}"
                 f"{load.routed:>6}{load.finished:>10}{load.aborted:>9}"
                 f"{load.total_tokens:>12,}{load.busy_seconds:>9.1f}"
             )
+            if with_cache:
+                row += f"{load.prefix_hit_rate:>10.1%}"
+            lines.append(row)
         lines.append(
             f"token imbalance (max/mean): {self.token_imbalance:.2f}   "
             f"request-count CV: {self.request_cv:.2f}"
         )
+        if with_cache:
+            lines.append(
+                f"prefix cache: {self.saved_prefill_tokens:,} prefill tokens saved"
+            )
         return "\n".join(lines)
 
 
@@ -105,6 +150,7 @@ def fleet_load_report(per_replica: Sequence[ServeResult]) -> FleetLoadReport:
     loads = []
     for replica_id, result in enumerate(per_replica):
         routed = list(result.requests) + list(result.aborted)
+        cache = result.cache_stats or {}
         loads.append(
             ReplicaLoad(
                 replica_id=replica_id,
@@ -115,6 +161,8 @@ def fleet_load_report(per_replica: Sequence[ServeResult]) -> FleetLoadReport:
                 input_tokens=sum(r.input_len for r in routed),
                 output_tokens=sum(r.generated for r in routed),
                 busy_seconds=sum(s.duration for s in result.iteration_stats),
+                prefix_hit_tokens=int(cache.get("hit_tokens", 0)),
+                prefix_miss_tokens=int(cache.get("miss_tokens", 0)),
             )
         )
     return FleetLoadReport(replicas=tuple(loads))

@@ -1,0 +1,35 @@
+"""Multi-turn session serving: prefix-KV caching and conversation workloads.
+
+Multi-round interaction traffic (ShareGPT / L-Eval style conversations)
+extends the previous turn's context on every request, so re-prefilling
+from token zero wastes exactly the tokens the previous turns already
+computed.  This package adds the pieces that exploit that structure:
+
+* :mod:`repro.sessions.prefix_cache` — a radix-tree **PrefixKVCache**
+  mapping token-id prefixes to KV extents resident in a replica's
+  unified pool, with ref-counting, LRU leaf eviction under pool
+  pressure, and hit/miss/eviction accounting.
+* :mod:`repro.sessions.workload` — conversation trace generation: the
+  ``Sessions`` dataset samples turn counts, think times, and per-turn
+  prompt growth, emitting :class:`~repro.types.Request` objects whose
+  ``token_ids`` chain turn over turn.
+
+Scheduler integration lives in :mod:`repro.core.server` (gated by
+``SchedulerConfig.enable_prefix_cache``); fleet-level cache-affinity
+routing in :mod:`repro.fleet.router` (``--router affinity``).
+"""
+
+from repro.sessions.prefix_cache import PrefixCacheStats, PrefixKVCache
+from repro.sessions.workload import (
+    SESSIONS,
+    SessionSpec,
+    make_session_trace,
+)
+
+__all__ = [
+    "SESSIONS",
+    "PrefixCacheStats",
+    "PrefixKVCache",
+    "SessionSpec",
+    "make_session_trace",
+]

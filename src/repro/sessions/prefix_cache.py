@@ -1,0 +1,321 @@
+"""Radix-tree prefix-KV cache over a replica's unified pool.
+
+Finished requests donate their KV to the tree instead of freeing it: the
+full token sequence (prompt + generated output) becomes a cached prefix
+for the conversation's next turn, which then prefills only its uncached
+suffix.  The design follows the production pattern (SGLang's RadixAttention,
+vLLM's prefix caching) adapted to this repo's token-granularity simulation:
+
+* Each tree node owns one **extent** — a contiguous span of the token
+  sequence whose KV slots are held in the :class:`UnifiedKVPool` under a
+  negative *owner id* (so cache extents coexist with live requests and
+  survive the migration bookkeeping unchanged).
+* **Ref-counting** pins the matched path while a request relies on it:
+  extents under an active lock are never evicted, so a prefill charged
+  only for its suffix can never lose its prefix mid-flight.
+* **Eviction** is LRU over unlocked leaves, triggered by the server when
+  pending work needs slots the pool cannot otherwise provide — the cache
+  only ever occupies memory nothing else wants.
+* Lock paths always end on node boundaries (the tree is split at the
+  match point when a lock is taken), which keeps later splits trivially
+  safe: any node inside a lock path is fully covered by it, so both
+  halves of a split stay pinned.
+
+All placement bookkeeping lives in the pool (``place``/``evict``/
+``reassign``); the tree stores only owner ids and token spans, so KV
+migrations between instances are transparent to the cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.kvcache.unified import UnifiedKVPool
+from repro.types import Request
+
+
+@dataclass
+class PrefixCacheStats:
+    """Hit/miss/eviction accounting, counted in requests and tokens.
+
+    ``lookups``/``hits``/``misses`` count prefill launches; the token
+    counters measure the actual work: ``hit_tokens`` is prefill compute
+    (and KV allocation) saved by matched prefixes, ``miss_tokens`` the
+    suffix tokens still prefilled from scratch.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    hit_tokens: int = 0
+    miss_tokens: int = 0
+    inserted_tokens: int = 0
+    evicted_tokens: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of prefill-needed tokens served from the cache."""
+        total = self.hit_tokens + self.miss_tokens
+        return self.hit_tokens / total if total else 0.0
+
+    @property
+    def saved_prefill_tokens(self) -> int:
+        """Alias that names the headline quantity: tokens not re-prefilled."""
+        return self.hit_tokens
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain counters, safe to sum across replicas for fleet views."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_tokens": self.hit_tokens,
+            "miss_tokens": self.miss_tokens,
+            "inserted_tokens": self.inserted_tokens,
+            "evicted_tokens": self.evicted_tokens,
+        }
+
+
+class _Node:
+    """One radix-tree node: an edge-label extent plus children."""
+
+    __slots__ = ("tokens", "children", "parent", "owner", "ref", "last_access")
+
+    def __init__(
+        self,
+        tokens: tuple[int, ...],
+        parent: "_Node | None",
+        owner: int,
+        last_access: float = 0.0,
+    ) -> None:
+        self.tokens = tokens
+        self.children: dict[int, _Node] = {}
+        self.parent = parent
+        self.owner = owner
+        self.ref = 0
+        self.last_access = last_access
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PrefixKVCache:
+    """Token-id prefix → resident KV extent map for one replica."""
+
+    def __init__(self, pool: UnifiedKVPool) -> None:
+        self.pool = pool
+        self.root = _Node(tokens=(), parent=None, owner=0)
+        self._owner_ids = itertools.count(1)
+        self._locks: dict[int, list[_Node]] = {}
+        self._resident_tokens = 0
+        self.stats = PrefixCacheStats()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def resident_tokens(self) -> int:
+        """KV slots currently held by cached extents."""
+        return self._resident_tokens
+
+    def peek_match(self, token_ids: tuple[int, ...] | None) -> int:
+        """Longest cached prefix of ``token_ids``, without locking.
+
+        This is the probe fleet affinity routing reads: how much of the
+        request's prompt is already resident on this replica.
+        """
+        if not token_ids:
+            return 0
+        _, matched = self._walk(token_ids)
+        return matched
+
+    # -- request lifecycle ----------------------------------------------------
+
+    def match_and_lock(self, request: Request, now: float) -> int:
+        """Match a pending request's prompt and pin the matched path.
+
+        Returns the matched token count, capped at ``input_len - 1`` so a
+        prefill always processes at least one token (the token whose KV
+        append produces the first output).  Re-entrant: a fresh match
+        releases the previous lock first, so the scheduler can re-match
+        every tick as earlier turns populate the tree.
+        """
+        self.release(request.request_id)
+        if not request.token_ids:
+            return 0
+        path, matched = self._walk(request.token_ids)
+        cap = min(matched, request.input_len - 1)
+        if cap <= 0:
+            return 0
+        locked: list[_Node] = []
+        depth = 0
+        for node, _ in path:
+            if depth + len(node.tokens) <= cap:
+                locked.append(node)
+                depth += len(node.tokens)
+                if depth == cap:
+                    break
+            else:
+                offset = cap - depth
+                if offset > 0:
+                    self._split(node, offset)  # node becomes the prefix half
+                    locked.append(node)
+                    depth += offset
+                break
+        for node in locked:
+            node.ref += 1
+            node.last_access = now
+        if locked:
+            self._locks[request.request_id] = locked
+        return depth
+
+    def release(self, request_id: int) -> None:
+        """Drop a request's pins (finish / preemption / abort); no-op when
+        the request holds none."""
+        for node in self._locks.pop(request_id, ()):
+            node.ref -= 1
+
+    def note_prefill(self, request: Request) -> None:
+        """Account one prefill launch against the hit/miss counters."""
+        self.stats.lookups += 1
+        if request.cached_prefix_len > 0:
+            self.stats.hits += 1
+            self.stats.hit_tokens += request.cached_prefix_len
+        else:
+            self.stats.misses += 1
+        self.stats.miss_tokens += request.prefill_tokens
+
+    def adopt_finished(self, request: Request, full_tokens: tuple[int, ...], now: float) -> None:
+        """Donate a finished request's KV to the tree.
+
+        ``full_tokens`` is the complete sequence (prompt + generated
+        output).  The request's pool slots cover the part beyond its
+        matched prefix; the uncovered tail becomes a new extent, any
+        overlap with extents inserted meanwhile is freed as duplicate.
+        """
+        request_id = request.request_id
+        owned = self.pool.tokens_of(request_id)
+        path, matched = self._walk(full_tokens)
+        if path and path[-1][1] < len(path[-1][0].tokens):
+            self._split(path[-1][0], path[-1][1])
+        parent = path[-1][0] if path else self.root
+        # The request's slots cover the sequence *after* its matched
+        # prefix, but not necessarily to the end (the final generated
+        # token's KV is never appended — decode stops once the request
+        # finishes).  Cache exactly the covered span: a shorter prefix is
+        # still a valid prefix.
+        tail = full_tokens[matched:matched + owned]
+        for node, _ in path:
+            node.last_access = now
+        if not tail:
+            self.pool.evict(request_id)  # fully cached already: all duplicate
+            self.release(request_id)
+            return
+        owner = -next(self._owner_ids)
+        self.pool.reassign(request_id, owner, len(tail))
+        self.pool.evict(request_id)  # frees the duplicated surplus, if any
+        node = _Node(tokens=tuple(tail), parent=parent, owner=owner, last_access=now)
+        parent.children[tail[0]] = node
+        self._resident_tokens += len(tail)
+        self.stats.inserted_tokens += len(tail)
+        self.release(request_id)
+
+    # -- eviction -------------------------------------------------------------
+
+    def evict(self, num_tokens: int, instance_ids: list[int] | None = None) -> int:
+        """Free at least ``num_tokens`` cached slots (LRU leaves first).
+
+        With ``instance_ids`` given, progress is counted only on those
+        instances (whole leaves are still evicted — an extent is valid
+        only in full).  Returns the slots freed on the counted instances;
+        may be less than asked when every remaining extent is pinned.
+        """
+        wanted = set(instance_ids) if instance_ids is not None else None
+        freed = 0
+        while freed < num_tokens:
+            victim = self._lru_evictable_leaf(wanted)
+            if victim is None:
+                break
+            freed += self._evict_node(victim, wanted)
+        return freed
+
+    def _lru_evictable_leaf(self, wanted: set[int] | None) -> _Node | None:
+        best: _Node | None = None
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            if node is self.root or node.ref > 0 or not node.is_leaf:
+                continue
+            if wanted is not None and not (
+                wanted & self.pool.placement_of(node.owner).keys()
+            ):
+                continue
+            if best is None or node.last_access < best.last_access:
+                best = node
+        return best
+
+    def _evict_node(self, node: _Node, wanted: set[int] | None) -> int:
+        placement = self.pool.placement_of(node.owner)
+        released = self.pool.evict(node.owner)
+        assert node.parent is not None  # root is never evicted
+        del node.parent.children[node.tokens[0]]
+        self._resident_tokens -= len(node.tokens)
+        self.stats.evicted_tokens += released
+        if wanted is None:
+            return released
+        return sum(t for i, t in placement.items() if i in wanted)
+
+    # -- tree mechanics -------------------------------------------------------
+
+    def _walk(self, tokens: tuple[int, ...]) -> tuple[list[tuple[_Node, int]], int]:
+        """Descend along ``tokens``; returns (path of (node, tokens matched
+        inside node), total matched).  Only the last path entry may be a
+        partial match."""
+        path: list[tuple[_Node, int]] = []
+        node = self.root
+        pos = 0
+        while pos < len(tokens):
+            child = node.children.get(tokens[pos])
+            if child is None:
+                break
+            edge = child.tokens
+            limit = min(len(edge), len(tokens) - pos)
+            k = 0
+            while k < limit and edge[k] == tokens[pos + k]:
+                k += 1
+            path.append((child, k))
+            pos += k
+            if k < len(edge):
+                break
+            node = child
+        return path, pos
+
+    def _split(self, node: _Node, offset: int) -> None:
+        """Split ``node``'s extent at ``offset``; ``node`` keeps the prefix.
+
+        The new suffix node inherits the ref count and joins every lock
+        path containing ``node`` (lock paths fully cover their nodes, so
+        both halves stay pinned — see the module docstring invariant).
+        """
+        if not 0 < offset < len(node.tokens):
+            raise ValueError(
+                f"split offset {offset} outside extent of {len(node.tokens)} tokens"
+            )
+        suffix = _Node(
+            tokens=node.tokens[offset:],
+            parent=node,
+            owner=-next(self._owner_ids),
+            last_access=node.last_access,
+        )
+        suffix.children = node.children
+        for child in suffix.children.values():
+            child.parent = suffix
+        suffix.ref = node.ref
+        self.pool.reassign(node.owner, suffix.owner, len(node.tokens) - offset)
+        node.tokens = node.tokens[:offset]
+        node.children = {suffix.tokens[0]: suffix}
+        for locked in self._locks.values():
+            if node in locked:
+                locked.insert(locked.index(node) + 1, suffix)

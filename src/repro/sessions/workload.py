@@ -1,0 +1,144 @@
+"""Multi-turn conversation workload generation (the ``Sessions`` dataset).
+
+A session is a chatbot/agent-loop conversation: turn ``t``'s prompt is
+the full context so far (all previous prompts and model outputs) plus a
+fresh user message, so consecutive turns share an ever-growing token
+prefix.  The sampler draws, per session:
+
+* **turn count** — geometric with mean ``mean_turns`` (capped),
+* **first prompt / per-turn growth** — clipped lognormals, ShareGPT-like
+  (short chatty messages; the context grows by the previous output plus
+  the new user message each turn),
+* **output length** — clipped lognormal, ShareGPT's chatty decode,
+* **think time** — exponential gap between a turn's arrival and the
+  next, plus a service-time allowance proportional to the output length.
+
+The trace is open-loop (arrival times fixed at generation time, like
+every other trace here).  The think-time allowance makes the common case
+"previous turn finished before the next arrives", but under overload a
+turn can arrive while its predecessor is still running — it then simply
+misses the part of the prefix not yet cached, which is exactly how a
+real radix cache behaves.
+
+Token ids are synthetic but *consistent*: each turn's answer is
+pre-sampled into ``Request.output_token_ids`` and embedded in the next
+turn's prompt, and the serving loop reads the same field when donating a
+finished request's KV to the prefix cache — so cache matching works end
+to end without modelling a tokenizer, and a given seed reproduces the
+exact token streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import Request, next_request_id
+from repro.workloads.arrival import PoissonArrivals
+from repro.workloads.datasets import LengthSpec
+
+# Synthetic token-id vocabulary.  Large enough that accidental cross-
+# session prefix collisions are negligible (~1/VOCAB_SIZE per request).
+VOCAB_SIZE = 50_000
+
+# Seconds of service-time allowance per output token when spacing turns;
+# a rough decode-speed guess, only used to make open-loop arrival gaps
+# realistic (see module docstring).
+_SERVICE_ALLOWANCE_S = 0.03
+
+_session_ids = itertools.count()
+
+
+def next_session_id() -> int:
+    """Process-unique monotonically increasing session id."""
+    return next(_session_ids)
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Distribution knobs of the Sessions conversation sampler."""
+
+    name: str = "Sessions"
+    mean_turns: float = 4.0
+    max_turns: int = 12
+    first_input: LengthSpec = field(
+        default=LengthSpec(log_mean=math.log(320.0), log_sigma=0.8, minimum=16, maximum=2300)
+    )
+    turn_input: LengthSpec = field(
+        default=LengthSpec(log_mean=math.log(120.0), log_sigma=0.7, minimum=8, maximum=1000)
+    )
+    output: LengthSpec = field(
+        default=LengthSpec(log_mean=math.log(200.0), log_sigma=0.9, minimum=4, maximum=1500)
+    )
+    think_time_mean_s: float = 8.0
+    # Sessions whose next prompt would exceed this context length end
+    # early (the client's context-window cutoff).
+    max_context_len: int = 32_000
+
+    def __post_init__(self) -> None:
+        if self.mean_turns < 1.0:
+            raise ValueError(f"mean_turns must be >= 1, got {self.mean_turns}")
+        if self.max_turns < 1:
+            raise ValueError(f"max_turns must be >= 1, got {self.max_turns}")
+
+    @property
+    def max_total_len(self) -> int:
+        return self.max_context_len + self.output.maximum
+
+
+SESSIONS = SessionSpec()
+
+
+def make_session_trace(
+    spec: SessionSpec = SESSIONS,
+    rate: float = 1.0,
+    num_sessions: int = 20,
+    seed: int = 0,
+) -> list[Request]:
+    """Draw a Poisson-arrival multi-turn trace (``rate`` in sessions/s).
+
+    Returns the requests of every turn of every session, sorted by
+    arrival time, with ``session_id``/``turn``/``token_ids`` populated so
+    prefix caching and affinity routing can chain the turns.
+    """
+    rng = np.random.default_rng(seed)
+    session_starts = PoissonArrivals(rate=rate).times(num_sessions, rng)
+    requests: list[Request] = []
+    for start in session_starts:
+        session_id = next_session_id()
+        turns = min(int(rng.geometric(1.0 / spec.mean_turns)), spec.max_turns)
+        history: list[int] = []
+        arrival = float(start)
+        for turn in range(turns):
+            length_spec = spec.first_input if turn == 0 else spec.turn_input
+            user_len = length_spec.sample(rng)
+            user_tokens = [int(t) for t in rng.integers(0, VOCAB_SIZE, size=user_len)]
+            prompt = history + user_tokens
+            if turn > 0 and len(prompt) > spec.max_context_len:
+                break  # context-window cutoff ends the session
+            output_len = spec.output.sample(rng)
+            output_tokens = [
+                int(t) for t in rng.integers(0, VOCAB_SIZE, size=output_len)
+            ]
+            requests.append(
+                Request(
+                    request_id=next_request_id(),
+                    input_len=len(prompt),
+                    output_len=output_len,
+                    arrival_time=arrival,
+                    session_id=session_id,
+                    turn=turn,
+                    token_ids=tuple(prompt),
+                    output_token_ids=tuple(output_tokens),
+                )
+            )
+            history = prompt + output_tokens
+            arrival += float(
+                rng.exponential(spec.think_time_mean_s)
+                + _SERVICE_ALLOWANCE_S * output_len
+            )
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return requests

@@ -54,6 +54,15 @@ class Request:
     user-declared output cap used by the scheduler's eviction-avoidance
     estimate (§5.1); it defaults to the true output length, which models a
     well-behaved client.
+
+    Multi-turn sessions (``repro.sessions``): ``session_id``/``turn`` tag a
+    request as turn ``turn`` of one conversation, ``token_ids`` carries its
+    full prompt so a prefix-KV cache can match it against resident
+    conversation state, and ``output_token_ids`` the (pre-sampled) answer
+    the next turn's prompt embeds.  ``cached_prefix_len`` is runtime state
+    set by the scheduler: how many leading prompt tokens were found
+    resident, so the prefill processes (and allocates) only the uncached
+    suffix.
     """
 
     request_id: int
@@ -61,9 +70,14 @@ class Request:
     output_len: int
     arrival_time: float = 0.0
     max_tokens: int | None = None
+    session_id: int | None = None
+    turn: int = 0
+    token_ids: tuple[int, ...] | None = None
+    output_token_ids: tuple[int, ...] | None = None
 
     state: RequestState = RequestState.PENDING
     generated: int = 0
+    cached_prefix_len: int = 0
 
     prefill_start: float | None = None
     prefill_end: float | None = None
@@ -76,6 +90,19 @@ class Request:
             raise ValueError(f"input_len must be positive, got {self.input_len}")
         if self.output_len <= 0:
             raise ValueError(f"output_len must be positive, got {self.output_len}")
+        if self.token_ids is not None and len(self.token_ids) != self.input_len:
+            raise ValueError(
+                f"token_ids carries {len(self.token_ids)} tokens but "
+                f"input_len is {self.input_len}"
+            )
+        if (
+            self.output_token_ids is not None
+            and len(self.output_token_ids) != self.output_len
+        ):
+            raise ValueError(
+                f"output_token_ids carries {len(self.output_token_ids)} tokens "
+                f"but output_len is {self.output_len}"
+            )
         if self.max_tokens is None:
             self.max_tokens = self.output_len
 
@@ -88,6 +115,28 @@ class Request:
     def max_total_len(self) -> int:
         """Worst-case total sequence length (input + declared output cap)."""
         return self.input_len + (self.max_tokens or self.output_len)
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Tokens the next prefill iteration must actually process.
+
+        A matched prefix (``cached_prefix_len``) is already resident in
+        the KV pool, so only the uncached suffix is computed.  Equals
+        ``current_len`` whenever no prefix cache is in play.
+        """
+        return self.current_len - self.cached_prefix_len
+
+    @property
+    def kv_demand(self) -> int:
+        """New KV slots a prefill allocates: the uncached suffix plus the
+        first generated token (the cached prefix keeps its own slots)."""
+        return self.prefill_tokens + 1
+
+    @property
+    def future_kv_demand(self) -> int:
+        """Worst-case *new* slots this request will ever hold (the §5.1
+        eviction-avoidance reserve, net of the cached prefix)."""
+        return self.max_total_len + 1 - self.cached_prefix_len
 
     @property
     def finished(self) -> bool:
@@ -170,7 +219,11 @@ class ScalingEvent:
 
 @dataclass
 class ServeResult:
-    """Output of one serving-system run over a workload trace."""
+    """Output of one serving-system run over a workload trace.
+
+    ``cache_stats`` is populated (as a plain counter dict) by servers
+    running with a prefix-KV cache; ``None`` otherwise.
+    """
 
     system: str
     requests: list[Request] = field(default_factory=list)
@@ -178,6 +231,7 @@ class ServeResult:
     iteration_stats: list[BatchStats] = field(default_factory=list)
     makespan: float = 0.0
     aborted: list[Request] = field(default_factory=list)
+    cache_stats: dict[str, float] | None = None
 
     @property
     def finished_requests(self) -> list[Request]:

@@ -18,17 +18,29 @@ _FIELDS = ("request_id", "input_len", "output_len", "arrival_time", "max_tokens"
 
 
 def trace_to_records(requests: Sequence[Request]) -> list[dict]:
-    """Workload-defining fields only (no runtime state)."""
-    return [
-        {
+    """Workload-defining fields only (no runtime state).
+
+    Session fields (``session_id``/``turn``/``token_ids``) are emitted
+    only for multi-turn requests, keeping single-turn traces unchanged.
+    """
+    records = []
+    for r in requests:
+        record = {
             "request_id": r.request_id,
             "input_len": r.input_len,
             "output_len": r.output_len,
             "arrival_time": r.arrival_time,
             "max_tokens": r.max_tokens,
         }
-        for r in requests
-    ]
+        if r.session_id is not None:
+            record["session_id"] = r.session_id
+            record["turn"] = r.turn
+            if r.token_ids is not None:
+                record["token_ids"] = list(r.token_ids)
+            if r.output_token_ids is not None:
+                record["output_token_ids"] = list(r.output_token_ids)
+        records.append(record)
+    return records
 
 
 def records_to_trace(records: Iterable[dict]) -> list[Request]:
@@ -37,6 +49,8 @@ def records_to_trace(records: Iterable[dict]) -> list[Request]:
         missing = [f for f in _FIELDS if f not in record and f != "max_tokens"]
         if missing:
             raise ValueError(f"trace record missing fields {missing}: {record}")
+        token_ids = record.get("token_ids")
+        output_token_ids = record.get("output_token_ids")
         requests.append(
             Request(
                 request_id=int(record["request_id"]),
@@ -46,6 +60,22 @@ def records_to_trace(records: Iterable[dict]) -> list[Request]:
                 max_tokens=(
                     int(record["max_tokens"])
                     if record.get("max_tokens") is not None
+                    else None
+                ),
+                session_id=(
+                    int(record["session_id"])
+                    if record.get("session_id") is not None
+                    else None
+                ),
+                turn=int(record.get("turn", 0)),
+                token_ids=(
+                    tuple(int(t) for t in token_ids)
+                    if token_ids is not None
+                    else None
+                ),
+                output_token_ids=(
+                    tuple(int(t) for t in output_token_ids)
+                    if output_token_ids is not None
                     else None
                 ),
             )

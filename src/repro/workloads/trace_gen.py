@@ -103,6 +103,10 @@ def clone_requests(requests: Sequence[Request]) -> list[Request]:
             output_len=r.output_len,
             arrival_time=r.arrival_time,
             max_tokens=r.max_tokens,
+            session_id=r.session_id,
+            turn=r.turn,
+            token_ids=r.token_ids,
+            output_token_ids=r.output_token_ids,
         )
         for r in requests
     ]

@@ -39,3 +39,30 @@ def make_request(
         arrival_time=arrival,
         max_tokens=max_tokens,
     )
+
+
+class StubReplica:
+    """Minimal router-facing replica handle for unit-testing fleet
+    routing policies with fully controllable probe state."""
+
+    def __init__(self, replica_id, outstanding=0, tokens=0, free=0, match=0):
+        self.replica_id = replica_id
+        self._outstanding = outstanding
+        self._tokens = tokens
+        self._free = free
+        self._match = match
+
+    def outstanding_requests(self):
+        return self._outstanding
+
+    def outstanding_tokens(self):
+        return self._tokens
+
+    def kv_free(self):
+        return self._free
+
+    def prefix_match_len(self, request):
+        return self._match
+
+    def state(self):
+        return (self._outstanding, self._tokens, self._free, self._match)

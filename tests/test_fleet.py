@@ -6,6 +6,7 @@ from repro.experiments.systems import make_fleet, make_system
 from repro.fleet import (
     LONG_INPUT_THRESHOLD,
     ROUTERS,
+    CacheAffinityRouter,
     FleetServer,
     LeastKVRouter,
     LeastOutstandingRouter,
@@ -19,32 +20,14 @@ from repro.metrics.latency import summarize_latency
 from repro.types import Request, RequestState, ServeResult
 from repro.workloads.datasets import MIXED, SHAREGPT
 from repro.workloads.trace_gen import clone_requests, make_trace, shard_trace
-from tests.conftest import make_request
-
-
-class StubReplica:
-    """Minimal router-facing handle for unit-testing policies."""
-
-    def __init__(self, replica_id, outstanding=0, tokens=0, free=0):
-        self.replica_id = replica_id
-        self._outstanding = outstanding
-        self._tokens = tokens
-        self._free = free
-
-    def outstanding_requests(self):
-        return self._outstanding
-
-    def outstanding_tokens(self):
-        return self._tokens
-
-    def kv_free(self):
-        return self._free
+from tests.conftest import StubReplica, make_request
 
 
 class TestRouters:
-    def test_registry_has_four_policies(self):
+    def test_registry_has_five_policies(self):
         assert set(ROUTERS) == {
-            "round-robin", "least-outstanding", "least-kv", "length-aware"
+            "round-robin", "least-outstanding", "least-kv", "length-aware",
+            "affinity",
         }
         for name in ROUTERS:
             assert make_router(name).name == name
@@ -114,6 +97,48 @@ class TestRouters:
     def test_length_aware_validates_fraction(self):
         with pytest.raises(ValueError):
             LengthAwareRouter(long_fraction=1.5)
+
+    def test_length_aware_custom_threshold(self):
+        """--long-threshold must move the long/short boundary."""
+        replicas = [StubReplica(i) for i in range(4)]
+        router = LengthAwareRouter(long_threshold=500)
+        assert router.route(make_request(input_len=600), replicas, 0.0).replica_id in (0, 1)
+        assert router.route(make_request(input_len=400), replicas, 0.0).replica_id in (2, 3)
+
+    def test_affinity_prefers_longest_match(self):
+        replicas = [
+            StubReplica(0, match=10, free=100),
+            StubReplica(1, match=500, free=1),
+            StubReplica(2, match=90, free=900),
+        ]
+        chosen = CacheAffinityRouter().route(make_request(), replicas, 0.0)
+        assert chosen.replica_id == 1
+
+    def test_affinity_falls_back_to_least_kv(self):
+        replicas = [
+            StubReplica(0, match=0, free=100),
+            StubReplica(1, match=0, free=900),
+        ]
+        chosen = CacheAffinityRouter().route(make_request(), replicas, 0.0)
+        assert chosen.replica_id == 1
+
+    def test_affinity_handles_probe_less_replicas(self):
+        """Replicas without a prefix cache probe score a zero match."""
+
+        class BareStub:
+            def __init__(self, replica_id, free):
+                self.replica_id = replica_id
+                self._free = free
+
+            def kv_free(self):
+                return self._free
+
+            def outstanding_requests(self):
+                return 0
+
+        replicas = [BareStub(0, free=10), BareStub(1, free=50)]
+        chosen = CacheAffinityRouter().route(make_request(), replicas, 0.0)
+        assert chosen.replica_id == 1
 
 
 class TestReplicaHandle:

@@ -55,6 +55,40 @@ class TestInstancePool:
                 pass
             assert pool.used + pool.free == 500
 
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "release", "release_all"]),
+                st.integers(min_value=0, max_value=5),   # request id
+                st.integers(min_value=0, max_value=40),  # token count
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_used_counter_matches_ownership_map(self, ops):
+        """The incremental ``used`` counter (kept because ``used`` sits on
+        the hot scheduling path) must track sum(_owned) under any mix of
+        allocate / partial release / full release / release_all."""
+        pool = InstancePool(instance_id=0, capacity=300)
+        for op, rid, n in ops:
+            if op == "alloc":
+                try:
+                    pool.allocate(rid, n)
+                except PoolExhaustedError:
+                    pass
+            elif op == "release":
+                pool.release(rid, n if n % 2 else None)
+            else:
+                pool.release_all()
+            assert pool.used == sum(pool.snapshot().values())
+            assert pool.used + pool.free == pool.capacity
+
+    def test_post_init_seeds_counter_from_preloaded_map(self):
+        pool = InstancePool(instance_id=0, capacity=100, _owned={1: 30, 2: 12})
+        assert pool.used == 42
+        assert pool.free == 58
+
 
 class TestUnifiedKVPool:
     def _pool(self) -> UnifiedKVPool:
