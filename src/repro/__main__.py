@@ -13,6 +13,16 @@ per-replica load:
     python -m repro serve --system loongserve --replicas 4 \
         --router least-kv --dataset mixed --rate 20 --num-requests 200
 
+The closed-loop control plane adds actuators on top of placement:
+`--autoscale` parks/unparks replicas on load hysteresis, `--steal`
+rebalances queued requests between replicas, and `--migrate-kv` ships
+session prefix KV along with rebalanced work (requires
+`--prefix-cache`); `--control-interval` sets the tick period.  With all
+three off the fleet behaves exactly like route-once placement:
+
+    python -m repro serve --replicas 4 --router least-kv --dataset mixed \
+        --rate 20 -n 200 --autoscale --steal
+
 Multi-turn session serving (`--dataset sessions`; `--rate` then counts
 sessions/s and `-n` sessions) pairs with the prefix-KV cache and
 cache-affinity routing:
@@ -81,6 +91,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.migrate_kv and not args.prefix_cache:
+        print(
+            "error: --migrate-kv moves prefix-KV cache extents; "
+            "it requires --prefix-cache",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicas < 2 and (args.autoscale or args.steal or args.migrate_kv):
+        print(
+            "error: --autoscale/--steal/--migrate-kv need a fleet "
+            "(--replicas >= 2)",
+            file=sys.stderr,
+        )
+        return 2
     trace = _build_trace(args)
     router_kwargs = {}
     if args.router == "length-aware" and args.long_threshold is not None:
@@ -89,7 +113,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         system = make_fleet(
             args.system, replicas=args.replicas, router=args.router,
             requests=trace, num_gpus=args.num_gpus,
-            prefix_cache=args.prefix_cache, **router_kwargs,
+            prefix_cache=args.prefix_cache,
+            autoscale=args.autoscale, steal=args.steal,
+            migrate_kv=args.migrate_kv,
+            control_interval=args.control_interval,
+            **router_kwargs,
         )
     else:
         system = make_system(
@@ -129,7 +157,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"SLO attainment: {slo.attainment:.1%} "
               f"({slo.attained}/{slo.total} within deadline)")
         print("\nper-replica load:")
-        print(fleet_load_report(result.per_replica).render())
+        print(
+            fleet_load_report(
+                result.per_replica,
+                elastic=getattr(result, "elastic", None),
+                makespan=result.makespan,
+            ).render()
+        )
     if args.timeline and args.replicas > 1:
         print("\n(--timeline shows one deployment; rerun without --replicas)")
     elif args.timeline:
@@ -176,6 +210,19 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--long-threshold", type=int, default=None,
                        help="input length (tokens) at which the length-aware "
                             "router treats a request as long-context")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="park/unpark replicas on queue-depth + KV-pressure "
+                            "hysteresis (with --replicas > 1)")
+    serve.add_argument("--steal", action="store_true",
+                       help="rebalance still-queued requests from overloaded "
+                            "to idle replicas each control tick")
+    serve.add_argument("--migrate-kv", action="store_true",
+                       help="ship session prefix KV between replicas when work "
+                            "is rebalanced or a replica parks (needs "
+                            "--prefix-cache)")
+    serve.add_argument("--control-interval", type=float, default=None,
+                       help="seconds between fleet control ticks "
+                            "(default 0.5)")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")

@@ -117,3 +117,20 @@ class CollectiveModel:
     ) -> float:
         """Aggregate bytes/s between two instances (Eq. 4's avg_bandwidth)."""
         return self.cluster.instance_bandwidth(src_instance, dst_instance, tensor_parallel)
+
+    def cross_replica_migration_time(
+        self, kv_bytes: float, tensor_parallel: int
+    ) -> float:
+        """Bulk KV transfer between two *replica deployments*.
+
+        Replicas are separate deployments, so the transfer always crosses
+        the inter-node fabric regardless of either side's intra-replica
+        topology; each side streams through its ``tensor_parallel`` NIC
+        lanes in parallel (the same lane model as :meth:`ring_pass_time`).
+        The fleet control plane prices session-KV rebalancing with this —
+        see ``repro.kvcache.migration.PrefixHandoff``.
+        """
+        if kv_bytes <= 0:
+            return 0.0
+        link = self.cluster.topology.infiniband
+        return link.latency + kv_bytes / (link.bandwidth * max(1, tensor_parallel))

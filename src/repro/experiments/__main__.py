@@ -131,6 +131,34 @@ def _run_sessions(args: argparse.Namespace) -> None:
     print(" KV prefix turns the shared context into skipped prefill work)")
 
 
+def _run_elastic_fleet(args: argparse.Namespace) -> None:
+    from repro.experiments import elastic_fleet
+
+    mixed = elastic_fleet.bursty_mixed_sweep(scale=args.scale)
+    print("Elastic fleet — 4x LoongServe replicas, bursty Mixed workload")
+    print(elastic_fleet.render_elastic_table(mixed))
+    advantage = elastic_fleet.elastic_advantage(mixed)
+    print(
+        f"\nelastic vs static at equal replica count: "
+        f"{advantage['per_token_ratio']:.2f}x lower mean per-token latency, "
+        f"{advantage['p99_ratio']:.2f}x lower P99, "
+        f"{advantage['capacity_ratio']:.2f}x fewer replica-seconds paid"
+    )
+    sessions = elastic_fleet.session_rebalance_sweep(scale=args.scale)
+    print("\nElastic fleet — 2x LoongServe replicas (prefix caches), "
+          "burst-then-lull Sessions")
+    print(elastic_fleet.render_elastic_table(sessions, with_cache=True))
+    preservation = elastic_fleet.migration_hit_preservation(sessions)
+    retained = preservation.get("elastic_retention", 0.0)
+    dropped = preservation.get("autoscale_retention", 0.0)
+    print(
+        f"\nKV migration keeps {retained:.1%} of the static affinity hit rate "
+        f"after scale-in (vs {dropped:.1%} without migration)"
+    )
+    print("(parking a replica ships its resident session prefixes to the")
+    print(" survivors, so consolidation does not cold-start conversations)")
+
+
 FIGURES = {
     "figure2": _run_figure2,
     "figure3": _run_figure3,
@@ -142,6 +170,7 @@ FIGURES = {
     "figure15": _run_figure15,
     "fleet": _run_fleet,
     "sessions": _run_sessions,
+    "elastic-fleet": _run_elastic_fleet,
 }
 
 

@@ -148,26 +148,69 @@ def make_fleet(
     num_gpus: int = 8,
     gpus_per_node: int = 8,
     prefix_cache: bool = False,
+    autoscale: bool = False,
+    steal: bool = False,
+    migrate_kv: bool = False,
+    control_interval: float | None = None,
     **router_kwargs,
 ):
-    """Build a fleet of identical replicas behind a routing policy.
+    """Build a fleet of identical replicas under a cluster policy.
 
     ``system`` is any :func:`make_system` name; ``num_gpus`` is the GPU
     count *per replica* (the fleet spans ``replicas * num_gpus`` GPUs).
     ``prefix_cache`` arms every replica's prefix-KV cache (LoongServe
     replicas only) — required for ``router="affinity"`` to have any
     state to match against.
+
+    ``autoscale`` / ``steal`` / ``migrate_kv`` arm the control-loop
+    actuators (replica park/unpark on load hysteresis, queued-request
+    rebalancing, and cross-replica session-KV migration); with all
+    three off the fleet is the bit-identical route-once front-end of
+    PR 1–2.  ``control_interval`` overrides the control-tick period.
     """
-    from repro.fleet import FleetServer, make_router
+    from repro.fleet import (
+        DEFAULT_CONTROL_INTERVAL,
+        ClusterPolicy,
+        FleetServer,
+        KVMigrator,
+        QueueDepthAutoscaler,
+        WorkStealer,
+        make_router,
+    )
+    from repro.costmodel.comm import CollectiveModel
 
     if replicas < 1:
         raise ValueError(f"need at least one replica, got {replicas}")
+    if migrate_kv and not prefix_cache:
+        raise ValueError(
+            "migrate_kv moves prefix-KV cache extents; it needs prefix_cache=True"
+        )
     servers = [
         make_system(system, requests=requests, num_gpus=num_gpus,
                     gpus_per_node=gpus_per_node, prefix_cache=prefix_cache)
         for _ in range(replicas)
     ]
-    return FleetServer(servers, make_router(router, **router_kwargs))
+    migrator = None
+    if migrate_kv:
+        config = servers[0].config  # LoongServe shape, guaranteed by the gate
+        migrator = KVMigrator(
+            collectives=CollectiveModel(cluster=config.cluster),
+            model=config.model,
+            tensor_parallel=config.tensor_parallel,
+        )
+    policy = ClusterPolicy(
+        router=make_router(router, **router_kwargs),
+        autoscaler=QueueDepthAutoscaler() if autoscale else None,
+        stealer=WorkStealer() if steal else None,
+        migrator=migrator,
+    )
+    return FleetServer(
+        servers,
+        policy=policy,
+        control_interval=(
+            DEFAULT_CONTROL_INTERVAL if control_interval is None else control_interval
+        ),
+    )
 
 
 def make_system(

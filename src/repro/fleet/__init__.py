@@ -1,12 +1,23 @@
-"""Fleet-scale serving: many replicas behind a request router.
+"""Fleet-scale serving: many replicas behind a closed-loop control plane.
 
 The single-deployment systems under ``repro.baselines`` / ``repro.core``
-serve one cluster; a production fleet runs N of them behind a router
-that shards the arriving trace.  ``FleetServer`` hosts any mix of
-replica systems on one shared virtual clock, and ``Router`` policies
-decide placement per arriving request.
+serve one cluster; a production fleet runs N of them behind a front-end.
+``FleetServer`` hosts any mix of replica systems on one shared virtual
+clock.  Placement per arriving request is one of the ``Router``
+policies; a :class:`ClusterPolicy` optionally adds the control-loop
+actuators — replica autoscaling (:class:`QueueDepthAutoscaler`), work
+stealing (:class:`WorkStealer`), and cross-replica session-KV migration
+(:class:`KVMigrator`) — which the :class:`FleetController` evaluates on
+periodic control ticks.
 """
 
+from repro.fleet.autoscaler import AutoscalerConfig, QueueDepthAutoscaler
+from repro.fleet.control import (
+    DEFAULT_CONTROL_INTERVAL,
+    ClusterPolicy,
+    FleetController,
+)
+from repro.fleet.migration import KVMigrator, MigrationConfig
 from repro.fleet.router import (
     LONG_INPUT_THRESHOLD,
     ROUTERS,
@@ -19,18 +30,29 @@ from repro.fleet.router import (
     make_router,
 )
 from repro.fleet.server import FleetResult, FleetServer, ReplicaHandle
+from repro.fleet.stealing import StealConfig, StealMove, WorkStealer
 
 __all__ = [
+    "DEFAULT_CONTROL_INTERVAL",
     "LONG_INPUT_THRESHOLD",
     "ROUTERS",
+    "AutoscalerConfig",
     "CacheAffinityRouter",
+    "ClusterPolicy",
+    "FleetController",
     "FleetResult",
     "FleetServer",
+    "KVMigrator",
     "LeastKVRouter",
     "LeastOutstandingRouter",
     "LengthAwareRouter",
+    "MigrationConfig",
+    "QueueDepthAutoscaler",
     "ReplicaHandle",
     "RoundRobinRouter",
     "Router",
+    "StealConfig",
+    "StealMove",
+    "WorkStealer",
     "make_router",
 ]

@@ -1,0 +1,116 @@
+"""Replica autoscaling on queue depth and KV pressure.
+
+The autoscaler is the capacity actuator of the fleet control plane: it
+watches the fleet's queued work and KV occupancy each control tick and
+parks replicas the load does not need (scale-in) or returns parked ones
+to rotation when pressure builds (scale-out).  Scale-in is graceful —
+a victim first *drains* (no new placements, resident work finishes, its
+hot session KV is rescued by the migrator if one is armed) and only
+then parks.
+
+Both directions are guarded by hysteresis: a signal must persist for
+``hysteresis_ticks`` consecutive control ticks before any action fires,
+so a single bursty tick cannot flap capacity.  The asymmetric default
+thresholds (scale out at 3 queued per replica, in below 0.5) widen the
+dead band the same way production autoscalers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Hysteresis thresholds of :class:`QueueDepthAutoscaler`.
+
+    ``high_queue_depth``/``low_queue_depth`` are mean queued requests
+    per accepting replica; ``high_kv_fraction``/``low_kv_fraction`` are
+    mean used fractions of the replicas' KV pools.  Scale-out triggers
+    when *either* high watermark holds, scale-in only when *both* low
+    watermarks hold — memory pressure without queueing still needs
+    capacity (long-context serving is KV-bound).
+    """
+
+    high_queue_depth: float = 3.0
+    low_queue_depth: float = 0.5
+    high_kv_fraction: float = 0.85
+    low_kv_fraction: float = 0.55
+    hysteresis_ticks: int = 2
+    min_online: int = 1
+
+    def __post_init__(self) -> None:
+        if self.low_queue_depth > self.high_queue_depth:
+            raise ValueError("low_queue_depth must not exceed high_queue_depth")
+        if self.low_kv_fraction > self.high_kv_fraction:
+            raise ValueError("low_kv_fraction must not exceed high_kv_fraction")
+        if self.hysteresis_ticks < 1:
+            raise ValueError("hysteresis_ticks must be >= 1")
+        if self.min_online < 1:
+            raise ValueError("min_online must be >= 1")
+
+
+class QueueDepthAutoscaler:
+    """Park/unpark replicas on queue-depth + KV-pressure hysteresis."""
+
+    name = "queue-depth"
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self._hot_ticks = 0
+        self._cold_ticks = 0
+
+    def reset(self) -> None:
+        """Clear hysteresis state (fresh fleet run)."""
+        self._hot_ticks = 0
+        self._cold_ticks = 0
+
+    def decide(self, replicas: Sequence, now: float) -> list[tuple[str, object]]:
+        """One control tick's capacity actions: (``"unpark" | "drain"``,
+        replica handle) pairs, at most one action per tick (capacity
+        moves one replica at a time, the standard anti-flap rule)."""
+        config = self.config
+        online = [r for r in replicas if r.online]
+        accepting = [r for r in online if not r.draining]
+        if not accepting:  # everything draining/parked: force capacity back
+            target = self._unpark_target(replicas)
+            return [("unpark", target)] if target is not None else []
+
+        queued = sum(len(r.queued_requests()) for r in online)
+        depth = queued / len(accepting)
+        kv = sum(r.kv_used_fraction() for r in accepting) / len(accepting)
+
+        overloaded = depth >= config.high_queue_depth or kv >= config.high_kv_fraction
+        underloaded = depth <= config.low_queue_depth and kv <= config.low_kv_fraction
+        self._hot_ticks = self._hot_ticks + 1 if overloaded else 0
+        self._cold_ticks = self._cold_ticks + 1 if underloaded else 0
+
+        if self._hot_ticks >= config.hysteresis_ticks:
+            target = self._unpark_target(replicas)
+            if target is not None:
+                self._hot_ticks = 0
+                return [("unpark", target)]
+        elif (
+            self._cold_ticks >= config.hysteresis_ticks
+            and len(accepting) > config.min_online
+        ):
+            victim = min(
+                accepting,
+                key=lambda r: (r.outstanding_tokens(), -r.replica_id),
+            )
+            self._cold_ticks = 0
+            return [("drain", victim)]
+        return []
+
+    @staticmethod
+    def _unpark_target(replicas: Sequence):
+        """Cheapest capacity first: cancel a drain (the replica is still
+        warm and running), else wake the lowest-id parked replica."""
+        for handle in replicas:
+            if handle.online and handle.draining:
+                return handle
+        for handle in replicas:
+            if not handle.online:
+                return handle
+        return None

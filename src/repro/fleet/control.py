@@ -1,0 +1,258 @@
+"""The fleet's closed control loop.
+
+LoongServe's thesis is that elasticity at serving time beats any static
+partition (§4); PR 1–2's fleet tier was still the static antithesis —
+a router placed each request once at arrival and replicas never
+exchanged work, KV, or capacity afterwards.  This module closes the
+loop: a :class:`FleetController` ticks periodically on the shared
+simulation clock and evaluates a :class:`ClusterPolicy` over live
+:class:`~repro.fleet.server.ReplicaHandle` state.  The policy bundles
+
+* a **placement** component — one of the ``repro.fleet.router`` policies,
+  now scoped to the replicas currently accepting work, and
+* up to three **actuators** — replica autoscaling
+  (:mod:`repro.fleet.autoscaler`), work stealing
+  (:mod:`repro.fleet.stealing`), and cross-replica session-KV migration
+  (:mod:`repro.fleet.migration`).
+
+With no actuators armed the controller is never constructed and fleet
+behaviour is bit-identical to route-once placement — the same gate
+pattern as the prefix cache's ``enable_prefix_cache`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.fleet.router import Router
+from repro.metrics.fleet import ElasticStats
+from repro.sim.engine import Simulator
+from repro.types import Request
+
+# Control ticks per simulated second strike a balance between actuation
+# latency (a steal can lag a burst by at most one interval) and event
+# overhead; experiments expose it as --control-interval.
+DEFAULT_CONTROL_INTERVAL = 0.5
+
+# Ticks run after same-timestamp arrivals and server ticks, so the
+# control plane always observes post-placement state.
+_CONTROL_PRIORITY = 9
+
+
+class ClusterPolicy:
+    """Placement plus actuators: the whole cluster-management policy.
+
+    Routers used to *be* the fleet policy; they are now its placement
+    component, evaluated per arrival over the replicas currently
+    accepting work.  The actuators are evaluated by the
+    :class:`FleetController` on every control tick.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        autoscaler=None,
+        stealer=None,
+        migrator=None,
+    ) -> None:
+        if router is None:
+            raise ValueError("a ClusterPolicy needs a placement router")
+        self.router = router
+        self.autoscaler = autoscaler
+        self.stealer = stealer
+        self.migrator = migrator
+
+    @property
+    def has_actuators(self) -> bool:
+        return any((self.autoscaler, self.stealer, self.migrator))
+
+    def reset(self) -> None:
+        """Clear any cross-run actuator state (hysteresis counters)."""
+        for part in (self.router, self.autoscaler, self.stealer, self.migrator):
+            reset = getattr(part, "reset", None)
+            if callable(reset):
+                reset()
+
+    @property
+    def name(self) -> str:
+        parts = [self.router.name]
+        if self.autoscaler is not None:
+            parts.append("+autoscale")
+        if self.stealer is not None:
+            parts.append("+steal")
+        if self.migrator is not None:
+            parts.append("+migrate-kv")
+        return "".join(parts)
+
+    def place(self, request: Request, replicas: Sequence, now: float):
+        """Route one arrival over the replicas accepting placements.
+
+        Falls back to the full fleet if every replica is parked or
+        draining (arrivals must land somewhere); passes the original
+        sequence through untouched when everyone is available, so a
+        policy with no actuators is indistinguishable from the bare
+        router.
+        """
+        available = [r for r in replicas if r.available]
+        if len(available) == len(replicas):
+            pool: Sequence = replicas
+        elif available:
+            pool = available
+        else:
+            pool = list(replicas)
+        return self.router.route(request, pool, now)
+
+
+class FleetController:
+    """Periodic evaluation of a policy's actuators on the shared clock.
+
+    Each tick: refresh the replicas' cached probe structure, let the
+    autoscaler adjust capacity (drain → park / unpark with the policy's
+    hysteresis), execute the stealer's planned moves (migrating session
+    KV alongside a steal when the migrator is armed), park any replica
+    that finished draining (rescuing its hot cache extents first), and
+    record the capacity timeline.  The loop re-arms only while work
+    remains, so the simulation still drains to idle.
+    """
+
+    def __init__(
+        self,
+        policy: ClusterPolicy,
+        replicas: Sequence,
+        sim: Simulator,
+        stats: ElasticStats,
+        interval: float = DEFAULT_CONTROL_INTERVAL,
+        work_remaining: Callable[[], bool] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"control interval must be positive, got {interval}")
+        self.policy = policy
+        self.replicas = list(replicas)
+        self.sim = sim
+        self.stats = stats
+        self.interval = interval
+        self._work_remaining = work_remaining or (lambda: False)
+        self._inflight_migrations = 0
+        # Stolen requests currently riding behind a KV transfer, keyed by
+        # destination replica id: the destination must not park (and wipe
+        # the just-imported extent) while a delivery is still in flight.
+        self._pending_deliveries: dict[int, int] = {}
+
+    # -- loop ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Record the launch capacity and arm the first tick."""
+        self.stats.record_capacity(self.sim.now, self._online_count())
+        self._arm()
+
+    def _arm(self) -> None:
+        self.sim.call_after(
+            self.interval, self._tick,
+            priority=_CONTROL_PRIORITY, label="fleet-control-tick",
+        )
+
+    def _tick(self) -> None:
+        self.stats.control_ticks += 1
+        for handle in self.replicas:
+            handle.refresh_probes()
+        if self.policy.autoscaler is not None:
+            self._autoscale()
+        if self.policy.stealer is not None:
+            self._steal()
+        self._park_drained()
+        self.stats.record_capacity(self.sim.now, self._online_count())
+        if self._work_remaining() or self._inflight_migrations > 0:
+            self._arm()
+
+    def _online_count(self) -> int:
+        return sum(1 for r in self.replicas if r.online)
+
+    # -- actuators -------------------------------------------------------------
+
+    def _autoscale(self) -> None:
+        now = self.sim.now
+        for action, handle in self.policy.autoscaler.decide(self.replicas, now):
+            if action == "unpark":
+                # Cancelling an in-progress drain brings no replica back
+                # online (it never left), so the ledger logs it apart
+                # from a true unpark — the rendered park/unpark counts
+                # must reconcile with the capacity timeline.
+                label = "undrain" if handle.online else "unpark"
+                handle.unpark()
+                self.stats.record_action(now, label, handle.replica_id)
+            elif action == "drain":
+                handle.drain()
+                self.stats.record_action(now, "drain", handle.replica_id)
+
+    def _park_drained(self) -> None:
+        """Finish the scale-down of replicas whose work has drained."""
+        now = self.sim.now
+        for handle in self.replicas:
+            if not (handle.online and handle.draining):
+                continue
+            if handle.outstanding_requests() > 0:
+                continue
+            if self._pending_deliveries.get(handle.replica_id, 0) > 0:
+                continue  # a stolen request's KV is still in flight here
+            if self.policy.migrator is not None:
+                handoffs = self.policy.migrator.rescue_resident(
+                    handle,
+                    [r for r in self.replicas if r is not handle and r.available],
+                    now,
+                )
+                for handoff in handoffs:
+                    self._charge_migration(handoff)
+            handle.clear_prefix_cache()
+            handle.park()
+            self.stats.record_action(now, "park", handle.replica_id)
+
+    def _steal(self) -> None:
+        now = self.sim.now
+        moves = self.policy.stealer.plan(
+            self.replicas, now, can_migrate=self.policy.migrator is not None
+        )
+        for move in moves:
+            if not move.src.withdraw(move.request):
+                continue  # started executing between plan and enact
+            reprefill = move.reprefill_tokens
+            delay = 0.0
+            if self.policy.migrator is not None:
+                handoff = self.policy.migrator.migrate_request_prefix(
+                    move.request, move.src, move.dst, now
+                )
+                if handoff is not None:
+                    delay = self._charge_migration(handoff)
+                    reprefill = handoff.reprefill_tokens
+            self.stats.stolen_requests += 1
+            self.stats.steal_reprefill_tokens += reprefill
+            if delay > 0.0:
+                # The stolen request rides behind its KV transfer: it is
+                # re-submitted only once the prefix extent has landed.
+                self._inflight_migrations += 1
+                key = move.dst.replica_id
+                self._pending_deliveries[key] = (
+                    self._pending_deliveries.get(key, 0) + 1
+                )
+                self.sim.call_after(
+                    delay,
+                    self._make_delivery(move.dst, move.request),
+                    label=f"kv-migrate:{move.request.request_id}",
+                )
+            else:
+                move.dst.accept_stolen(move.request)
+
+    def _make_delivery(self, dst, request: Request):
+        def _deliver() -> None:
+            self._inflight_migrations -= 1
+            self._pending_deliveries[dst.replica_id] -= 1
+            dst.accept_stolen(request)
+
+        return _deliver
+
+    def _charge_migration(self, handoff) -> float:
+        """Record one executed handoff; returns its modelled seconds."""
+        cost = handoff.cost(*self.policy.migrator.pricing)
+        self.stats.migrations += 1
+        self.stats.migrated_kv_tokens += handoff.num_tokens
+        self.stats.migration_seconds += cost
+        return cost

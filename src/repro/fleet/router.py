@@ -1,9 +1,12 @@
 """Request-routing policies for a replica fleet.
 
 A router sees every arriving request at its arrival instant and picks
-the replica that serves it; replicas never exchange requests afterwards
-(no work stealing), so placement quality decides fleet behaviour.  Four
-policies cover the design space explored by cluster-serving work:
+the replica that serves it.  Routers are the *placement* component of a
+:class:`~repro.fleet.control.ClusterPolicy`: on a static fleet they are
+the whole policy (requests never move after placement), while the
+control-loop actuators — work stealing, autoscaling, KV migration —
+correct placement afterwards when armed.  Five policies cover the
+design space explored by cluster-serving work:
 
 * **round-robin** — stateless cycling; the baseline every load balancer
   implements first.
@@ -72,6 +75,10 @@ class RoundRobinRouter(Router):
     name = "round-robin"
 
     def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        """Restart the cycle (fresh fleet run) so reruns are clean."""
         self._next = 0
 
     def route(self, request: Request, replicas: Sequence, now: float):

@@ -5,14 +5,23 @@
 ``repro.experiments.systems.make_system`` — LoongServe, vLLM,
 DistServe, a replicated engine group, …) is reset onto one shared
 :class:`~repro.sim.engine.Simulator`, arrivals fire on that clock, and
-the router places each request using the replicas' *live* state (queue
-depths, KV pool occupancy) exactly as a fleet front-end would.
+the placement side of a :class:`~repro.fleet.control.ClusterPolicy`
+places each request using the replicas' *live* state (queue depths, KV
+pool occupancy) exactly as a fleet front-end would.
+
+Placement is no longer the whole story: when the policy carries
+actuators (autoscaler / work stealer / KV migrator), a
+:class:`~repro.fleet.control.FleetController` runs periodic control
+ticks on the same clock and moves capacity, queued work, and cached
+session KV *after* arrival — the closed control loop.  With no
+actuators armed, no ticks are scheduled and fleet behaviour is
+bit-identical to pure route-once placement.
 
 ``ReplicaHandle`` adapts the heterogeneous server shapes to the uniform
-probe surface routers consume, and rebuilds a per-replica
-:class:`~repro.types.ServeResult` afterwards; ``FleetResult`` is the
-merged fleet view plus the per-replica breakdown the load-imbalance
-metrics read.
+probe-and-mutation surface the control plane consumes, and rebuilds a
+per-replica :class:`~repro.types.ServeResult` afterwards;
+``FleetResult`` is the merged fleet view plus the per-replica breakdown
+the load-imbalance metrics read.
 """
 
 from __future__ import annotations
@@ -20,23 +29,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.fleet.control import DEFAULT_CONTROL_INTERVAL, ClusterPolicy, FleetController
 from repro.fleet.router import Router
-from repro.metrics.fleet import merge_serve_results
+from repro.metrics.fleet import ElasticStats, merge_serve_results
 from repro.sim.engine import Simulator
-from repro.types import Request, ServeResult
+from repro.types import Request, RequestState, ServeResult
 
 
 class ReplicaHandle:
-    """Uniform fleet-side view over one replica serving system."""
+    """Uniform fleet-side view over one replica serving system.
+
+    Routers read the *probe* surface (queue depth, KV occupancy, prefix
+    matches); the control plane additionally drives the *mutation*
+    surface: ``drain``/``park``/``unpark`` for autoscaling,
+    ``withdraw``/``accept_stolen`` for work stealing, and
+    ``export_prefix``/``import_prefix`` for cross-replica session-KV
+    migration.
+    """
 
     def __init__(self, replica_id: int, server) -> None:
         self.replica_id = replica_id
         self.server = server
         self.routed: list[Request] = []
+        self.stolen_in = 0
+        self.stolen_out = 0
+        # Elastic lifecycle: an offline (parked) replica receives no
+        # placements; a draining one finishes resident work first.
+        self.online = True
+        self.draining = False
+        self._kv_sources: list[tuple[int, object]] | None = None
 
     @property
     def name(self) -> str:
         return getattr(self.server, "name", type(self.server).__name__)
+
+    @property
+    def available(self) -> bool:
+        """Eligible for new placements (online and not draining)."""
+        return self.online and not self.draining
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -47,12 +77,34 @@ class ReplicaHandle:
             reset()
         self.server.use_simulator(sim)
         self.routed = []
+        self.stolen_in = 0
+        self.stolen_out = 0
+        self.online = True
+        self.draining = False
+        self._kv_sources = None
 
     def submit(self, request: Request) -> None:
         self.routed.append(request)
         self.server.submit(request)
 
-    # -- live probes (read by routers) ---------------------------------------
+    def drain(self) -> None:
+        """Stop placements here; resident work runs to completion."""
+        self.draining = True
+
+    def park(self) -> bool:
+        """Take the drained replica offline; False while work remains."""
+        if self.outstanding_requests() > 0:
+            return False
+        self.online = False
+        self.draining = False
+        return True
+
+    def unpark(self) -> None:
+        """Bring a parked (or draining) replica back into rotation."""
+        self.online = True
+        self.draining = False
+
+    # -- live probes (read by routers and the control plane) -------------------
 
     def outstanding_requests(self) -> int:
         """Routed requests not yet finished (aborts count as finished)."""
@@ -62,24 +114,56 @@ class ReplicaHandle:
         """Token-weighted outstanding work (queued + resident lengths)."""
         return sum(r.current_len for r in self.routed if not r.finished)
 
-    def kv_free_map(self) -> dict[int, int]:
-        """Free KV slots per instance/engine, across server shapes."""
+    def _resolve_kv_sources(self) -> list[tuple[int, object]]:
+        """Shape dispatch: (key, pool) pairs exposing ``free``/``capacity``."""
         pool = getattr(self.server, "pool", None)
         if pool is not None:
-            if hasattr(pool, "free_map"):  # UnifiedKVPool
-                return dict(pool.free_map())
-            return {0: pool.free}  # single-engine InstancePool
+            if hasattr(pool, "pools"):  # UnifiedKVPool
+                return sorted(pool.pools.items())
+            return [(0, pool)]  # single-engine InstancePool
         engines = getattr(self.server, "engines", None)
         if engines:  # ReplicatedServer
-            return {i: engine.pool.free for i, engine in enumerate(engines)}
+            return [(i, engine.pool) for i, engine in enumerate(engines)]
         prefill = getattr(self.server, "prefill_engine", None)
         decode = getattr(self.server, "decode_engine", None)
         if prefill is not None and decode is not None:  # DistServe
-            return {0: prefill.pool.free, 1: decode.pool.free}
-        return {}
+            return [(0, prefill.pool), (1, decode.pool)]
+        return []
+
+    def kv_sources(self) -> list[tuple[int, object]]:
+        """Resolved per-replica KV pool handles.
+
+        The shape dispatch (and the dict it used to rebuild) runs once,
+        not on every router probe of every arrival; the control loop
+        calls :meth:`refresh_probes` each tick as the invalidation point
+        (replica shapes are static in practice, so this is a safety
+        refresh, not a correctness requirement — ``free`` reads stay
+        live either way).
+        """
+        if self._kv_sources is None:
+            self._kv_sources = self._resolve_kv_sources()
+        return self._kv_sources
+
+    def refresh_probes(self) -> None:
+        """Control-tick invalidation of the cached probe structure."""
+        self._kv_sources = None
+
+    def kv_free_map(self) -> dict[int, int]:
+        """Free KV slots per instance/engine, across server shapes."""
+        return {key: pool.free for key, pool in self.kv_sources()}
 
     def kv_free(self) -> int:
-        return sum(self.kv_free_map().values())
+        return sum(pool.free for _, pool in self.kv_sources())
+
+    def kv_capacity(self) -> int:
+        return sum(pool.capacity for _, pool in self.kv_sources())
+
+    def kv_used_fraction(self) -> float:
+        """KV pressure: fraction of this replica's slots in use."""
+        capacity = self.kv_capacity()
+        if capacity <= 0:
+            return 0.0
+        return 1.0 - self.kv_free() / capacity
 
     def prefix_match_len(self, request: Request) -> int:
         """Longest prompt prefix resident in this replica's prefix-KV
@@ -88,6 +172,111 @@ class ReplicaHandle:
         if cache is None or request.token_ids is None:
             return 0
         return cache.peek_match(request.token_ids)
+
+    @property
+    def has_prefix_cache(self) -> bool:
+        return getattr(self.server, "prefix_cache", None) is not None
+
+    # -- work stealing ---------------------------------------------------------
+
+    def _queue_slots(self) -> list[tuple[object, str]]:
+        """Queues on this replica that hold withdrawable requests."""
+        slots: list[tuple[object, str]] = []
+        if hasattr(self.server, "pending"):  # LoongServeServer
+            slots.append((self.server, "pending"))
+        if hasattr(self.server, "waiting"):  # EngineServer shapes
+            slots.append((self.server, "waiting"))
+        prefill = getattr(self.server, "prefill_engine", None)
+        if prefill is not None and hasattr(prefill, "waiting"):  # DistServe
+            slots.append((prefill, "waiting"))
+        for engine in getattr(self.server, "engines", None) or []:
+            if hasattr(engine, "waiting"):  # ReplicatedServer
+                slots.append((engine, "waiting"))
+        return slots
+
+    @staticmethod
+    def _stealable(request: Request) -> bool:
+        """Still-queued work with no resident state anywhere: safe to
+        re-submit on any replica."""
+        return (
+            request.state == RequestState.PENDING
+            and request.generated == 0
+            and request.preemptions == 0
+        )
+
+    def queued_requests(self) -> list[Request]:
+        """Requests queued here that a steal could relocate."""
+        queued: list[Request] = []
+        for owner, attr in self._queue_slots():
+            queued.extend(r for r in getattr(owner, attr) if self._stealable(r))
+        return queued
+
+    def withdraw(self, request: Request) -> bool:
+        """Remove a still-queued request from this replica entirely.
+
+        Undoes everything ``submit`` caused for a request that never
+        started executing: the queue entry, the server's bookkeeping
+        membership, any prefix-cache pins from speculative matching, and
+        the routed ledger.  Returns False when the request already left
+        the queue (it started prefilling between plan and execution).
+        """
+        if not self._stealable(request):
+            return False
+        for owner, attr in self._queue_slots():
+            queue = getattr(owner, attr)
+            if request in queue:
+                queue.remove(request)
+                tracked = getattr(owner, "_all_requests", None)
+                if tracked is not None and request in tracked:
+                    tracked.remove(request)
+                cache = getattr(self.server, "prefix_cache", None)
+                if cache is not None:
+                    cache.release(request.request_id)
+                    request.cached_prefix_len = 0
+                if request in self.routed:
+                    self.routed.remove(request)
+                self.stolen_out += 1
+                return True
+        return False
+
+    def accept_stolen(self, request: Request) -> None:
+        """Enqueue a request withdrawn from an overloaded peer."""
+        self.stolen_in += 1
+        self.submit(request)
+
+    # -- cross-replica KV migration --------------------------------------------
+
+    def export_prefix(self, request: Request) -> tuple[int, ...]:
+        """Read this replica's resident prefix of ``request`` for handoff."""
+        cache = getattr(self.server, "prefix_cache", None)
+        if cache is None or request.token_ids is None:
+            return ()
+        return cache.export_prefix(request.token_ids)
+
+    def import_prefix(self, token_ids: tuple[int, ...], now: float) -> int:
+        """Install a migrated prefix extent; returns tokens placed."""
+        cache = getattr(self.server, "prefix_cache", None)
+        if cache is None:
+            return 0
+        return cache.import_prefix(token_ids, now)
+
+    def note_prefix_export(self, num_tokens: int) -> None:
+        """Charge a successful handoff against this side's export ledger."""
+        cache = getattr(self.server, "prefix_cache", None)
+        if cache is not None:
+            cache.note_export(num_tokens)
+
+    def resident_prefix_sequences(self) -> list[tuple[float, tuple[int, ...]]]:
+        cache = getattr(self.server, "prefix_cache", None)
+        if cache is None:
+            return []
+        return cache.resident_sequences()
+
+    def clear_prefix_cache(self) -> int:
+        cache = getattr(self.server, "prefix_cache", None)
+        if cache is None:
+            return 0
+        return cache.clear()
 
     # -- result assembly -----------------------------------------------------
 
@@ -125,40 +314,68 @@ class ReplicaHandle:
 
 @dataclass
 class FleetResult(ServeResult):
-    """Fleet-merged ``ServeResult`` plus the per-replica breakdown."""
+    """Fleet-merged ``ServeResult`` plus the per-replica breakdown.
+
+    ``elastic`` carries the control plane's recorder when the run used
+    one (None on static route-once fleets).
+    """
 
     per_replica: list[ServeResult] = field(default_factory=list)
+    elastic: ElasticStats | None = None
 
 
 class FleetServer:
-    """Shard one workload trace across replicas via a routing policy."""
+    """Serve one workload trace across replicas under a cluster policy."""
 
     def __init__(
         self,
         replicas: Sequence,
-        router: Router,
+        router: Router | None = None,
         name: str | None = None,
+        policy: ClusterPolicy | None = None,
+        control_interval: float = DEFAULT_CONTROL_INTERVAL,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
+        if (router is None) == (policy is None):
+            raise ValueError("pass exactly one of router= or policy=")
         self.replicas = [
             ReplicaHandle(i, server) for i, server in enumerate(replicas)
         ]
-        self.router = router
+        self.policy = policy if policy is not None else ClusterPolicy(router)
+        self.router = self.policy.router  # back-compat alias
+        self.control_interval = control_interval
         base = getattr(replicas[0], "name", type(replicas[0]).__name__)
-        self.name = name or f"{base} x{len(replicas)} [{router.name}]"
+        self.name = name or f"{base} x{len(replicas)} [{self.policy.name}]"
+        self._remaining_arrivals = 0
 
     def run(self, requests: list[Request]) -> FleetResult:
         """Serve a trace across the fleet; returns the merged result."""
         sim = Simulator()
+        self.policy.reset()
         for handle in self.replicas:
             handle.prepare(sim)
+        self._remaining_arrivals = len(requests)
+        controller: FleetController | None = None
+        elastic: ElasticStats | None = None
+        if self.policy.has_actuators:
+            elastic = ElasticStats()
+            controller = FleetController(
+                policy=self.policy,
+                replicas=self.replicas,
+                sim=sim,
+                stats=elastic,
+                interval=self.control_interval,
+                work_remaining=self._work_remaining,
+            )
         for request in requests:
             sim.call_at(
                 request.arrival_time,
                 self._make_arrival(request, sim),
                 label=f"arrival:{request.request_id}",
             )
+        if controller is not None:
+            controller.start()
         sim.run_until_idle()
 
         per_replica = [handle.result(sim.now) for handle in self.replicas]
@@ -172,11 +389,19 @@ class FleetServer:
             aborted=merged.aborted,
             cache_stats=merged.cache_stats,
             per_replica=per_replica,
+            elastic=elastic,
         )
+
+    def _work_remaining(self) -> bool:
+        """Anything left for the control loop to manage?"""
+        if self._remaining_arrivals > 0:
+            return True
+        return any(h.outstanding_requests() > 0 for h in self.replicas)
 
     def _make_arrival(self, request: Request, sim: Simulator):
         def _on_arrival() -> None:
-            handle = self.router.route(request, self.replicas, sim.now)
+            self._remaining_arrivals -= 1
+            handle = self.policy.place(request, self.replicas, sim.now)
             handle.submit(request)
 
         return _on_arrival

@@ -1,0 +1,127 @@
+"""Work stealing between fleet replicas.
+
+Route-once placement cannot undo a bad bet: a burst of long-context
+requests behind one replica queues there even while a neighbour sits
+idle.  The stealer is the control plane's corrective actuator — each
+control tick it plans moves of *still-queued* requests (never started,
+no resident KV) from the deepest queue to the shallowest, until the
+depth gap closes or the per-tick budget runs out.
+
+Steals honour prefix affinity: a queued request whose prompt has a long
+resident prefix on its current replica would forfeit that cache hit by
+moving, so such moves are skipped unless the KV migrator travels with
+the control plane (``can_migrate``) — in which case the prefix extent
+is shipped alongside the request and the steal keeps its hit.  Either
+way the *re-prefill cost* (source-match tokens the destination cannot
+serve from cache) is charged to the steal in the fleet metrics, so
+experiments see what rebalancing actually cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.types import Request
+
+
+@dataclass(frozen=True)
+class StealConfig:
+    """Knobs of :class:`WorkStealer`.
+
+    ``min_queue_gap`` — minimum depth difference (requests) between the
+    deepest and shallowest queue before any move is planned; keeps the
+    stealer quiet on balanced fleets.
+    ``max_moves_per_tick`` — per-tick budget, bounding control work.
+    ``affinity_guard_tokens`` — a request whose source-side prefix match
+    exceeds the destination's by more than this stays put unless the
+    migrator can ship the extent along.
+    """
+
+    min_queue_gap: int = 2
+    max_moves_per_tick: int = 4
+    affinity_guard_tokens: int = 256
+
+    def __post_init__(self) -> None:
+        if self.min_queue_gap < 1:
+            raise ValueError("min_queue_gap must be >= 1")
+        if self.max_moves_per_tick < 1:
+            raise ValueError("max_moves_per_tick must be >= 1")
+        if self.affinity_guard_tokens < 0:
+            raise ValueError("affinity_guard_tokens must be >= 0")
+
+
+@dataclass(frozen=True)
+class StealMove:
+    """One planned relocation of a queued request."""
+
+    request: Request
+    src: object  # ReplicaHandle (duck-typed)
+    dst: object
+    src_match: int
+    dst_match: int
+
+    @property
+    def reprefill_tokens(self) -> int:
+        """Prefix tokens the destination must re-prefill (pre-migration)."""
+        return max(0, self.src_match - self.dst_match)
+
+
+class WorkStealer:
+    """Plan queue rebalancing moves from overloaded to idle replicas."""
+
+    name = "queue-gap"
+
+    def __init__(self, config: StealConfig | None = None) -> None:
+        self.config = config or StealConfig()
+
+    def plan(
+        self, replicas: Sequence, now: float, can_migrate: bool = False
+    ) -> list[StealMove]:
+        """Moves for one control tick; deterministic given replica state.
+
+        Victims come from the *tail* of the deepest queue (latest
+        arrivals — the requests that would wait longest anyway, and the
+        smallest FCFS disruption on the source).
+        """
+        config = self.config
+        available = [r for r in replicas if r.available]
+        if len(available) < 2:
+            return []
+        queues = {r.replica_id: r.queued_requests() for r in available}
+        moves: list[StealMove] = []
+        while len(moves) < config.max_moves_per_tick:
+            src = max(
+                available, key=lambda r: (len(queues[r.replica_id]), -r.replica_id)
+            )
+            dst = min(
+                available, key=lambda r: (len(queues[r.replica_id]), r.replica_id)
+            )
+            gap = len(queues[src.replica_id]) - len(queues[dst.replica_id])
+            if src is dst or gap < config.min_queue_gap:
+                break
+            move = self._pick_victim(queues[src.replica_id], src, dst, can_migrate)
+            if move is None:
+                break  # every queued request is pinned by affinity
+            queues[src.replica_id].remove(move.request)
+            queues[dst.replica_id].append(move.request)
+            moves.append(move)
+        return moves
+
+    def _pick_victim(
+        self, queue: list[Request], src, dst, can_migrate: bool
+    ) -> StealMove | None:
+        for request in reversed(queue):
+            src_match = src.prefix_match_len(request)
+            dst_match = dst.prefix_match_len(request)
+            orphaned = src_match - dst_match
+            if orphaned > self.config.affinity_guard_tokens and not can_migrate:
+                continue  # stealing would orphan a hot session prefix
+            return StealMove(
+                request=request,
+                src=src,
+                dst=dst,
+                src_match=src_match,
+                dst_match=dst_match,
+            )
+        return None

@@ -5,6 +5,17 @@ step (§5.2) still migrates occasionally: when the prefill phase preempts
 an instance, the evicted decode batch's KV moves to the surviving decode
 instances.  This module plans such moves and prices them with the
 communication model (Eq. 4's volume / avg_bandwidth).
+
+Two granularities exist:
+
+* :class:`MigrationPlan` — intra-deployment: token spans of live requests
+  move between one deployment's elastic instances (one shared
+  :class:`UnifiedKVPool`).
+* :class:`PrefixHandoff` — cross-replica: a cached prefix extent moves
+  between two *deployments'* prefix-KV caches (the fleet control plane's
+  session rebalancing).  The bookkeeping lives in each side's cache
+  (``export_prefix`` / ``import_prefix``); this type carries the volume
+  and prices the transfer over the inter-node fabric.
 """
 
 from __future__ import annotations
@@ -58,6 +69,34 @@ class MigrationPlan:
             t = collectives.migration_time(kv_bytes, step.src, step.dst, tensor_parallel)
             per_src[step.src] = per_src.get(step.src, 0.0) + t
         return max(per_src.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class PrefixHandoff:
+    """One cross-replica migration of a cached prefix extent.
+
+    ``num_tokens`` is the span actually installed on the destination
+    (the source may hold more; already-resident destination tokens are
+    never re-shipped).  ``reprefill_tokens`` is the affinity debt the
+    move could not cover: prefix tokens the destination must re-prefill
+    because they did not fit or were not migrated.
+    """
+
+    request_id: int
+    src_replica: int
+    dst_replica: int
+    num_tokens: int
+    reprefill_tokens: int = 0
+
+    def cost(
+        self,
+        collectives: CollectiveModel,
+        model: ModelSpec,
+        tensor_parallel: int,
+    ) -> float:
+        """Wall-clock seconds to ship the extent between replicas."""
+        kv_bytes = self.num_tokens * model.kv_bytes_per_token
+        return collectives.cross_replica_migration_time(kv_bytes, tensor_parallel)
 
 
 def plan_eviction_migration(

@@ -1,4 +1,4 @@
-"""Fleet-aggregated metrics: merged results and load-imbalance stats.
+"""Fleet-aggregated metrics: merged results, load imbalance, elasticity.
 
 A fleet run produces one ``ServeResult`` per replica; the paper's
 latency/SLO metrics apply to the *union* of requests, so
@@ -6,12 +6,16 @@ latency/SLO metrics apply to the *union* of requests, so
 makespan = the latest replica finish).  ``fleet_load_report`` keeps the
 per-replica view: how evenly the router spread requests, tokens, and
 busy time — the quantities that explain *why* one routing policy beats
-another.
+another.  ``ElasticStats`` is the control plane's flight recorder: the
+fleet-capacity timeline (replicas online over time), the work-stealing
+ledger (moves plus the re-prefill tokens steals charged), and the
+cross-replica KV-migration traffic — the quantities that explain what
+elasticity bought (or cost) on top of placement.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -57,6 +61,82 @@ def merge_cache_stats(per_replica: Sequence[ServeResult]) -> dict[str, float] | 
     return merged
 
 
+@dataclass
+class ElasticStats:
+    """Mutable flight recorder the fleet control plane writes during a run.
+
+    ``capacity_timeline`` holds ``(time, replicas_online)`` transitions
+    (always seeded with the launch state at t=0); ``scaling_log`` the
+    individual park/unpark/drain actions.  Steal and migration counters
+    are fleet-wide totals.  ``control_ticks`` counts evaluated control
+    intervals, so experiments can report actuator activity per tick.
+    """
+
+    capacity_timeline: list[tuple[float, int]] = field(default_factory=list)
+    scaling_log: list[tuple[float, str, int]] = field(default_factory=list)
+    control_ticks: int = 0
+    stolen_requests: int = 0
+    steal_reprefill_tokens: int = 0
+    migrated_kv_tokens: int = 0
+    migrations: int = 0
+    migration_seconds: float = 0.0
+
+    def record_capacity(self, now: float, online: int) -> None:
+        """Append a capacity transition (deduplicated against the last)."""
+        if self.capacity_timeline and self.capacity_timeline[-1][1] == online:
+            return
+        self.capacity_timeline.append((now, online))
+
+    def record_action(self, now: float, action: str, replica_id: int) -> None:
+        self.scaling_log.append((now, action, replica_id))
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for _, action, _ in self.scaling_log if action == "park")
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for _, action, _ in self.scaling_log if action == "unpark")
+
+    def replica_seconds(self, makespan: float) -> float:
+        """Integral of replicas-online over the run (capacity actually paid
+        for) — the autoscaler's headline saving vs. ``N * makespan``."""
+        if not self.capacity_timeline:
+            return 0.0
+        total = 0.0
+        for (t0, online), (t1, _) in zip(
+            self.capacity_timeline, self.capacity_timeline[1:]
+        ):
+            total += online * (max(t1, t0) - t0)
+        last_t, last_online = self.capacity_timeline[-1]
+        total += last_online * max(0.0, makespan - last_t)
+        return total
+
+    def render(self, makespan: float) -> str:
+        """The elastic timeline block of ``FleetLoadReport.render``."""
+        steps = " -> ".join(
+            f"{online}@{t:.1f}s" for t, online in self.capacity_timeline
+        )
+        lines = [f"replicas online: {steps or 'n/a'}"]
+        if self.capacity_timeline:
+            peak = max(online for _, online in self.capacity_timeline)
+            used = self.replica_seconds(makespan)
+            lines.append(
+                f"capacity: {used:,.1f} replica-s used of "
+                f"{peak * makespan:,.1f} static ({self.scale_ups} unparks, "
+                f"{self.scale_downs} parks, {self.control_ticks} ticks)"
+            )
+        lines.append(
+            f"work stealing: {self.stolen_requests} requests moved, "
+            f"{self.steal_reprefill_tokens:,} re-prefill tokens charged"
+        )
+        lines.append(
+            f"kv migration: {self.migrated_kv_tokens:,} tokens in "
+            f"{self.migrations} transfers ({self.migration_seconds * 1000:.1f} ms modelled)"
+        )
+        return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class ReplicaLoad:
     """Work one replica received and performed during a fleet run."""
@@ -86,9 +166,16 @@ class ReplicaLoad:
 
 @dataclass(frozen=True)
 class FleetLoadReport:
-    """Per-replica load breakdown plus fleet imbalance statistics."""
+    """Per-replica load breakdown plus fleet imbalance statistics.
+
+    ``elastic`` carries the control plane's recorder when the run used
+    one (``None`` on static fleets); ``makespan`` anchors its
+    replica-seconds integral.
+    """
 
     replicas: tuple[ReplicaLoad, ...]
+    elastic: ElasticStats | None = None
+    makespan: float = 0.0
 
     @property
     def token_imbalance(self) -> float:
@@ -142,10 +229,16 @@ class FleetLoadReport:
             lines.append(
                 f"prefix cache: {self.saved_prefill_tokens:,} prefill tokens saved"
             )
+        if self.elastic is not None:
+            lines.append(self.elastic.render(self.makespan))
         return "\n".join(lines)
 
 
-def fleet_load_report(per_replica: Sequence[ServeResult]) -> FleetLoadReport:
+def fleet_load_report(
+    per_replica: Sequence[ServeResult],
+    elastic: ElasticStats | None = None,
+    makespan: float | None = None,
+) -> FleetLoadReport:
     """Summarise how a fleet run's work spread across replicas."""
     loads = []
     for replica_id, result in enumerate(per_replica):
@@ -165,4 +258,8 @@ def fleet_load_report(per_replica: Sequence[ServeResult]) -> FleetLoadReport:
                 prefix_miss_tokens=int(cache.get("miss_tokens", 0)),
             )
         )
-    return FleetLoadReport(replicas=tuple(loads))
+    if makespan is None:
+        makespan = max((r.makespan for r in per_replica), default=0.0)
+    return FleetLoadReport(
+        replicas=tuple(loads), elastic=elastic, makespan=makespan
+    )

@@ -28,6 +28,9 @@ class LatencySummary:
     per_token_p90: float
     finished: int
     total: int
+    # Deep-tail percentile the elastic-fleet experiments compare on —
+    # burst absorption shows up in the worst requests, not the mean.
+    per_token_p99: float = float("inf")
 
     @property
     def completion_rate(self) -> float:
@@ -58,6 +61,7 @@ def summarize_latency(result: ServeResult) -> LatencySummary:
         per_token_p90=float(np.percentile(per_token, 90)),
         finished=len(finished),
         total=len(result.requests),
+        per_token_p99=float(np.percentile(per_token, 99)),
     )
 
 

@@ -52,6 +52,10 @@ class PrefixCacheStats:
     miss_tokens: int = 0
     inserted_tokens: int = 0
     evicted_tokens: int = 0
+    # Cross-replica migration traffic (``repro.fleet`` control plane):
+    # tokens this cache received from / shipped to a peer replica's cache.
+    imported_tokens: int = 0
+    exported_tokens: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -74,6 +78,8 @@ class PrefixCacheStats:
             "miss_tokens": self.miss_tokens,
             "inserted_tokens": self.inserted_tokens,
             "evicted_tokens": self.evicted_tokens,
+            "imported_tokens": self.imported_tokens,
+            "exported_tokens": self.exported_tokens,
         }
 
 
@@ -220,6 +226,102 @@ class PrefixKVCache:
         self._resident_tokens += len(tail)
         self.stats.inserted_tokens += len(tail)
         self.release(request_id)
+
+    # -- cross-replica migration ----------------------------------------------
+
+    def export_prefix(self, token_ids: tuple[int, ...]) -> tuple[int, ...]:
+        """Read out the longest resident prefix of ``token_ids`` for
+        migration to a peer replica's cache.
+
+        Returns the matched token span (possibly empty).  A pure read:
+        the source extents stay in place — migration is a copy, and the
+        LRU eviction path reclaims the source copy under pressure
+        exactly like any other cold extent.  The migrator charges
+        ``exported_tokens`` via :meth:`note_export` only once the
+        destination actually installed the extent, so failed handoffs
+        never inflate the traffic ledger; the transfer's wall-clock cost
+        is also the caller's to model
+        (see ``repro.kvcache.migration.PrefixHandoff``).
+        """
+        if not token_ids:
+            return ()
+        _, matched = self._walk(token_ids)
+        return tuple(token_ids[:matched])
+
+    def note_export(self, num_tokens: int) -> None:
+        """Account tokens a peer replica successfully imported from here."""
+        self.stats.exported_tokens += num_tokens
+
+    def import_prefix(self, token_ids: tuple[int, ...], now: float) -> int:
+        """Install a migrated prefix extent shipped from a peer replica.
+
+        The already-resident part of ``token_ids`` is skipped (the
+        longest local match); the remainder becomes one new extent whose
+        KV slots are allocated in this replica's pool.  Under pool
+        pressure, unlocked LRU extents are evicted to make room; if the
+        suffix still does not fit in full, a leading sub-span is imported
+        instead (a shorter prefix is still a valid prefix).  Returns the
+        number of newly resident tokens (0 when nothing could be placed).
+        """
+        if not token_ids:
+            return 0
+        # Make room before walking: eviction prunes leaves, so any path
+        # captured earlier could dangle.  The pre-walk only sizes the
+        # demand estimate.
+        _, matched = self._walk(token_ids)
+        shortfall = (len(token_ids) - matched) - self.pool.total_free
+        if shortfall > 0:
+            self.evict(shortfall)
+        path, matched = self._walk(token_ids)
+        tail = tuple(token_ids[matched:])
+        for node, _ in path:
+            node.last_access = now
+        if not tail:
+            return 0
+        room = self.pool.total_free
+        if room <= 0:
+            return 0
+        tail = tail[:room]
+        if path and path[-1][1] < len(path[-1][0].tokens):
+            self._split(path[-1][0], path[-1][1])
+        parent = path[-1][0] if path else self.root
+        owner = -next(self._owner_ids)
+        placement = self.pool.balanced_placement(
+            len(tail), list(self.pool.pools)
+        )
+        self.pool.place(owner, placement)
+        node = _Node(tokens=tail, parent=parent, owner=owner, last_access=now)
+        parent.children[tail[0]] = node
+        self._resident_tokens += len(tail)
+        self.stats.imported_tokens += len(tail)
+        self.stats.inserted_tokens += len(tail)
+        return len(tail)
+
+    def resident_sequences(self) -> list[tuple[float, tuple[int, ...]]]:
+        """Every root-to-leaf resident token sequence, most recent first.
+
+        The drain path walks this list to re-home a parking replica's hot
+        conversation state onto surviving replicas before its cache is
+        cleared.
+        """
+        sequences: list[tuple[float, tuple[int, ...]]] = []
+        stack: list[tuple[_Node, tuple[int, ...]]] = [(self.root, ())]
+        while stack:
+            node, prefix = stack.pop()
+            full = prefix + node.tokens
+            if node is not self.root and node.is_leaf:
+                sequences.append((node.last_access, full))
+            stack.extend((child, full) for child in node.children.values())
+        sequences.sort(key=lambda item: (-item[0], item[1]))
+        return sequences
+
+    def clear(self) -> int:
+        """Evict every unlocked extent (replica park / teardown).
+
+        Returns the KV slots freed; pinned extents (an in-flight prefill
+        still relies on them) survive.
+        """
+        return self.evict(self._resident_tokens)
 
     # -- eviction -------------------------------------------------------------
 

@@ -40,7 +40,7 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule at {time:.6f}, clock is at {self._now:.6f}")
         event = self._queue.push(time, action, priority=priority, label=label)
-        return Timer(event=event)
+        return Timer(event=event, queue=self._queue)
 
     def call_after(
         self,

@@ -25,11 +25,23 @@ class Event:
 
 
 class EventQueue:
-    """A monotonic min-heap of events."""
+    """A monotonic min-heap of events.
+
+    Cancelled events are flagged in place (heap removal is O(n)) and
+    lazily discarded on pop; once they outnumber the live events the heap
+    is compacted in one O(n) rebuild, so long timer-heavy runs keep their
+    pop cost at O(log live) instead of O(log total-ever-cancelled).
+    """
+
+    # Compaction only kicks in past this heap size: tiny heaps are cheap
+    # to pop through regardless, and the threshold keeps rebuild cost
+    # amortised O(1) per cancellation.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def push(
         self,
@@ -50,13 +62,43 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return event
 
+    def discard(self, event: Event) -> None:
+        """Cancel a scheduled event; it will never run nor count.
+
+        The heap entry stays until popped or compacted away.  Discarding
+        an event that already left the heap (it ran, or was lazily
+        dropped) is a no-op — the dead-weight counter only tracks
+        cancelled events still occupying heap slots.
+        """
+        if getattr(event, "_cancelled", False) or getattr(event, "_popped", False):
+            return
+        object.__setattr__(event, "_cancelled", True)
+        self._cancelled += 1
+        if self._cancelled > len(self._heap) // 2 and len(self._heap) >= self._COMPACT_MIN:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not getattr(e, "_cancelled", False)]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from empty event queue")
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        object.__setattr__(event, "_popped", True)
+        if getattr(event, "_cancelled", False):
+            self._cancelled -= 1
+        return event
 
     def peek_time(self) -> float | None:
         return self._heap[0].time if self._heap else None
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -67,16 +109,21 @@ class EventQueue:
 
 @dataclass
 class Timer:
-    """Cancellable handle returned by :meth:`Simulator.call_at`."""
+    """Cancellable handle returned by :meth:`Simulator.call_at`.
+
+    Cancellation always routes through the owning queue —
+    :meth:`EventQueue.discard` is the single mechanism, so every
+    cancelled event participates in the dead-weight accounting and
+    compaction.
+    """
 
     event: Event
+    queue: EventQueue
     cancelled: bool = False
 
     def cancel(self) -> None:
         self.cancelled = True
-        # The event stays in the heap (removal would be O(n)); flag it so
-        # the run loop discards it without executing or counting it.
-        object.__setattr__(self.event, "_cancelled", True)
+        self.queue.discard(self.event)
 
 
 def make_noop() -> Callable[[], None]:

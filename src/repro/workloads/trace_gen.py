@@ -22,16 +22,26 @@ class LengthSampler(Protocol):
     def sample(self, rng: np.random.Generator) -> tuple[int, int]: ...
 
 
+class ArrivalProcess(Protocol):
+    def times(self, count: int, rng: np.random.Generator) -> list[float]: ...
+
+
 def make_trace(
     dataset: LengthSampler,
     rate: float,
     num_requests: int,
     seed: int = 0,
     max_input_len: int | None = None,
+    arrivals: ArrivalProcess | None = None,
 ) -> list[Request]:
-    """Draw a Poisson-arrival trace from a dataset distribution."""
+    """Draw a trace from a dataset distribution.
+
+    Arrivals default to the paper's Poisson process at ``rate``; pass an
+    explicit ``arrivals`` process (e.g. ``BurstyArrivals``) to change
+    the temporal shape while keeping the length distribution.
+    """
     rng = np.random.default_rng(seed)
-    times = PoissonArrivals(rate=rate).times(num_requests, rng)
+    times = (arrivals or PoissonArrivals(rate=rate)).times(num_requests, rng)
     requests = []
     for arrival in times:
         input_len, output_len = dataset.sample(rng)

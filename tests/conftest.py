@@ -1,14 +1,28 @@
-"""Shared fixtures: a small cluster, cost model, and workload helpers."""
+"""Shared fixtures: a small cluster, cost model, and workload helpers.
+
+Also registers the derandomized hypothesis profile CI runs select via
+``CI=1``: a fixed seed and no deadline, so property tests are exactly
+reproducible across CI runs (no flaky shrink timeouts, no
+run-to-run example drift) while local runs keep exploring fresh
+examples.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.cluster.cluster import Cluster
 from repro.config import SystemConfig, default_config
 from repro.costmodel.latency import RooflineCostModel
 from repro.model.spec import LWM_7B_1M
 from repro.types import Request, next_request_id
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+if os.environ.get("CI"):
+    settings.load_profile("ci")
 
 
 @pytest.fixture(scope="session")

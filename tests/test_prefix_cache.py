@@ -189,5 +189,6 @@ class TestStats:
         assert set(d) == {
             "lookups", "hits", "misses", "hit_tokens", "miss_tokens",
             "inserted_tokens", "evicted_tokens",
+            "imported_tokens", "exported_tokens",
         }
         assert all(v == 0 for v in d.values())

@@ -136,6 +136,63 @@ class TestSimulator:
         assert sim.now == 2.0
         assert sim.events_processed == 1
 
+    def test_cancelled_timers_are_compacted_out_of_the_heap(self):
+        """Regression: long fleet runs cancel many timers; once cancelled
+        entries outnumber live ones the heap must shrink (keeping pop
+        cost O(log live)) instead of accumulating dead weight."""
+        sim = Simulator()
+        fired = []
+        timers = [
+            sim.call_at(float(i + 1), lambda i=i: fired.append(i))
+            for i in range(1000)
+        ]
+        for timer in timers[100:]:
+            timer.cancel()
+        queue = sim._queue
+        assert len(queue) < 1000  # compaction fired mid-cancellation
+        assert queue.cancelled_pending <= len(queue) // 2 + 1
+        sim.run_until_idle()
+        assert fired == list(range(100))  # order survives the rebuild
+        assert sim.events_processed == 100
+
+    def test_compaction_skipped_for_small_heaps(self):
+        """Tiny heaps are cheap to pop through; no rebuild below the
+        threshold, and lazy discarding still works."""
+        sim = Simulator()
+        fired = []
+        timers = [sim.call_at(1.0, lambda i=i: fired.append(i)) for i in range(10)]
+        for timer in timers:
+            timer.cancel()
+        assert len(sim._queue) == 10  # nothing compacted
+        sim.run_until_idle()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        timer = sim.call_at(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim._queue.cancelled_pending == 1
+        sim.run_until_idle()
+        assert sim._queue.cancelled_pending == 0
+
+    def test_cancel_after_fire_does_not_drift_counter(self):
+        """Regression: cancelling timers whose events already ran (the
+        usual cancel-a-timeout-after-completion pattern) must not count
+        as heap dead weight nor trigger spurious compactions."""
+        sim = Simulator()
+        timers = [sim.call_at(1.0, lambda: None) for _ in range(100)]
+        sim.run_until_idle()
+        for timer in timers:
+            timer.cancel()
+        assert sim._queue.cancelled_pending == 0
+        # A queue polluted this way must still behave for live events.
+        fired = []
+        sim.call_at(2.0, lambda: fired.append("live"))
+        sim.run_until_idle()
+        assert fired == ["live"]
+
 
 class TestTraceRecorder:
     def test_records_and_filters(self):
