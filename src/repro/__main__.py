@@ -30,6 +30,15 @@ cache-affinity routing:
     python -m repro serve --dataset sessions --prefix-cache \
         --replicas 4 --router affinity --rate 1.0 -n 40
 
+Failure injection crashes replicas mid-run (queued and running work
+fails over through the router, resident KV is lost, the replica warms
+back up after `--fault-downtime`): `--fault-at TIME:REPLICA` scripts
+crashes, `--fault-mtbf` draws a seeded stochastic schedule:
+
+    python -m repro serve --replicas 3 --router affinity --prefix-cache \
+        --dataset sessions --rate 1.0 -n 30 --migrate-kv --steal \
+        --fault-at 20:0 --fault-downtime 15
+
 (`python -m repro.experiments <figureN>` regenerates paper figures;
 `python -m repro.experiments sessions` runs the affinity-vs-baseline
 sweep.)
@@ -38,9 +47,10 @@ sweep.)
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
-from repro.experiments.systems import make_fleet, make_system
+from repro.experiments.systems import CRASHABLE_SYSTEMS, make_fleet, make_system
 from repro.fleet.router import ROUTERS
 from repro.metrics.fleet import fleet_load_report
 from repro.metrics.latency import summarize_latency
@@ -80,6 +90,46 @@ def _build_trace(args: argparse.Namespace):
 PREFIX_CACHE_SYSTEMS = ("loongserve", "loongserve-no-scaleup")
 
 
+def _parse_fault_at(value: str) -> tuple[float, int]:
+    """Parse one --fault-at entry: ``TIME:REPLICA`` (e.g. ``12.5:0``)."""
+    try:
+        time_part, _, replica_part = value.partition(":")
+        time, replica = float(time_part), int(replica_part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--fault-at wants TIME:REPLICA (e.g. 12.5:0), got {value!r}"
+        ) from None
+    if not math.isfinite(time) or time < 0 or replica < 0:
+        raise argparse.ArgumentTypeError(
+            f"--fault-at TIME and REPLICA must be finite and non-negative, "
+            f"got {value!r}"
+        )
+    return time, replica
+
+
+def _build_fault_plan(args: argparse.Namespace, trace):
+    """Combine scripted --fault-at crashes with a --fault-mtbf Poisson
+    schedule drawn over the trace's arrival span."""
+    from repro.fleet.faults import FaultPlan, ReplicaFault
+
+    faults = [
+        ReplicaFault(time=t, replica_id=r, downtime_s=args.fault_downtime)
+        for t, r in (args.fault_at or [])
+    ]
+    if args.fault_mtbf is not None:
+        horizon = max((r.arrival_time for r in trace), default=0.0)
+        faults.extend(
+            FaultPlan.poisson(
+                num_replicas=args.replicas,
+                horizon_s=horizon,
+                mtbf_s=args.fault_mtbf,
+                seed=args.fault_seed,
+                downtime_s=args.fault_downtime,
+            )
+        )
+    return FaultPlan(faults)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     if args.replicas < 1:
         print(f"error: --replicas must be >= 1, got {args.replicas}", file=sys.stderr)
@@ -105,7 +155,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    faults_requested = bool(args.fault_at) or args.fault_mtbf is not None
+    if faults_requested and not (
+        math.isfinite(args.fault_downtime) and args.fault_downtime > 0
+    ):
+        print("error: --fault-downtime must be finite and positive",
+              file=sys.stderr)
+        return 2
+    if args.fault_mtbf is not None and not (
+        math.isfinite(args.fault_mtbf) and args.fault_mtbf > 0
+    ):
+        print("error: --fault-mtbf must be finite and positive", file=sys.stderr)
+        return 2
+    if faults_requested and args.replicas < 2:
+        print(
+            "error: --fault-at/--fault-mtbf need a fleet (--replicas >= 2); "
+            "a single crashed replica has no survivors to fail over to",
+            file=sys.stderr,
+        )
+        return 2
+    if faults_requested and args.system not in CRASHABLE_SYSTEMS:
+        print(
+            f"error: failure injection requires a crashable LoongServe system "
+            f"({', '.join(CRASHABLE_SYSTEMS)}), got {args.system!r}",
+            file=sys.stderr,
+        )
+        return 2
     trace = _build_trace(args)
+    fault_plan = _build_fault_plan(args, trace) if faults_requested else None
+    if fault_plan is not None and fault_plan.max_replica_id >= args.replicas:
+        print(
+            f"error: --fault-at targets replica {fault_plan.max_replica_id} "
+            f"but the fleet has only {args.replicas} replicas",
+            file=sys.stderr,
+        )
+        return 2
+    if fault_plan is not None and not fault_plan:
+        print(
+            "note: fault schedule is empty (no --fault-at entries and the "
+            "drawn Poisson schedule produced no crashes); running fault-free"
+        )
+        fault_plan = None
     router_kwargs = {}
     if args.router == "length-aware" and args.long_threshold is not None:
         router_kwargs["long_threshold"] = args.long_threshold
@@ -116,6 +206,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             prefix_cache=args.prefix_cache,
             autoscale=args.autoscale, steal=args.steal,
             migrate_kv=args.migrate_kv,
+            faults=fault_plan,
             control_interval=args.control_interval,
             **router_kwargs,
         )
@@ -223,6 +314,20 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--control-interval", type=float, default=None,
                        help="seconds between fleet control ticks "
                             "(default 0.5)")
+    serve.add_argument("--fault-at", action="append", type=_parse_fault_at,
+                       metavar="TIME:REPLICA",
+                       help="crash replica REPLICA at simulated second TIME "
+                            "(repeatable; queued/running work fails over, "
+                            "resident KV is lost)")
+    serve.add_argument("--fault-mtbf", type=float, default=None,
+                       help="draw stochastic crashes: per-replica mean time "
+                            "between failures in seconds (seeded Poisson "
+                            "over the trace's arrival span)")
+    serve.add_argument("--fault-downtime", type=float, default=10.0,
+                       help="seconds a crashed replica stays down before it "
+                            "begins warming back up (default 10)")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the --fault-mtbf crash schedule")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")

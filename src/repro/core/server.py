@@ -79,6 +79,9 @@ class LoongServeServer:
         self._decode_latency_count = 0
         self._tick_pending = False
         self._all_requests: list[Request] = []
+        # Bumped by crash(): scheduled callbacks from before the crash
+        # must never touch the rebuilt state (see _guarded).
+        self._epoch = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -122,6 +125,45 @@ class LoongServeServer:
         self.trace.record(self.sim.now, "arrival", request=request.request_id)
         self._request_tick()
 
+    def crash(self) -> tuple[list[Request], int]:
+        """Kill the replica atomically (fleet failure injection).
+
+        Everything volatile dies at once: queued requests, running
+        prefill tasks and decode batches, and every KV slot — live
+        request state and cached prefix extents alike.  Returns the
+        orphaned (unfinished) requests for the fleet's failover path to
+        re-dispatch, plus the KV tokens lost.
+
+        The epoch bump invalidates every callback the dead server had
+        scheduled (in-flight prefill/decode completions, pending ticks);
+        the rebuilt state is a cold, empty server on the same shared
+        clock, ready to be recovered.  Finished/aborted history and the
+        prefix-cache hit/miss ledger survive — that work happened.
+        """
+        lost_tokens = self.pool.total_used
+        orphans = [r for r in self._all_requests if not r.finished]
+        self._all_requests = [r for r in self._all_requests if r.finished]
+        for request in orphans:
+            self.trace.record(self.sim.now, "crash_orphan", request=request.request_id)
+        self._epoch += 1
+        self._tick_pending = False
+        config = self.config
+        self.pool = UnifiedKVPool.create(
+            num_instances=config.num_instances,
+            slots_per_instance=config.kv_slots_per_instance,
+        )
+        self.instances = {
+            i: ElasticInstance(instance_id=i, pool=self.pool.pools[i])
+            for i in range(config.num_instances)
+        }
+        if self.prefix_cache is not None:
+            self.prefix_cache = PrefixKVCache(
+                self.pool, stats=self.prefix_cache.stats
+            )
+        self.pending = []
+        self.decode_batches = []
+        return orphans, lost_tokens
+
     # -- event handlers ----------------------------------------------------------
 
     def _make_arrival(self, request: Request):
@@ -132,11 +174,29 @@ class LoongServeServer:
 
         return _on_arrival
 
+    def _guarded(self, action):
+        """Wrap a scheduled callback so it dies with the current epoch.
+
+        A crash rebuilds the server's state in place; completions and
+        ticks scheduled against the old state must become no-ops rather
+        than corrupt the rebuilt one.
+        """
+        epoch = self._epoch
+
+        def _run() -> None:
+            if self._epoch == epoch:
+                action()
+
+        return _run
+
     def _request_tick(self) -> None:
         if self._tick_pending:
             return
         self._tick_pending = True
-        self.sim.call_at(self.sim.now, self._tick, priority=_TICK_PRIORITY, label="tick")
+        self.sim.call_at(
+            self.sim.now, self._guarded(self._tick),
+            priority=_TICK_PRIORITY, label="tick",
+        )
 
     def _tick(self) -> None:
         self._tick_pending = False
@@ -295,7 +355,7 @@ class LoongServeServer:
         )
         self.sim.call_after(
             planned.start_delay + duration,
-            lambda: self._on_prefill_done(planned),
+            self._guarded(lambda: self._on_prefill_done(planned)),
             label=f"prefill_done:{task.batch_id}",
         )
 
@@ -440,7 +500,7 @@ class LoongServeServer:
         )
         self.sim.call_after(
             duration,
-            lambda: self._on_decode_done(batch, masters),
+            self._guarded(lambda: self._on_decode_done(batch, masters)),
             label=f"decode_done:{batch.batch_id}",
         )
 

@@ -27,6 +27,55 @@ from repro.model.flops import decode_flops
 from repro.model.spec import ModelSpec
 
 
+# Replica lifecycle defaults: weights stream host-to-device over PCIe
+# (4.0 x16 effective, per GPU) on warm-up; the fixed overheads cover
+# process launch / allocator + CUDA-graph warm-up and, on cool-down,
+# KV flush + weight unload.
+HOST_TO_DEVICE_BANDWIDTH = 25e9  # bytes/s per GPU
+REPLICA_INIT_OVERHEAD_S = 0.5
+REPLICA_TEARDOWN_S = 0.2
+
+
+@dataclass(frozen=True)
+class ReplicaLifecycleModel:
+    """Warm-up / cool-down costs of moving a replica in or out of rotation.
+
+    The elastic control plane used to treat park/unpark as free, which
+    over-credits autoscaling: a real unpark pays weight loading before
+    the replica serves anything, and a park pays a teardown.  The fleet
+    charges ``warmup_s`` as *latency* (the replica joins the placement
+    pool only after it elapses — crash recovery pays it too) and
+    ``cooldown_s`` as *capacity* (replica-seconds added to the bill).
+    """
+
+    warmup_s: float
+    cooldown_s: float = REPLICA_TEARDOWN_S
+
+    def __post_init__(self) -> None:
+        if self.warmup_s < 0:
+            raise ValueError(f"warmup_s must be non-negative, got {self.warmup_s}")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be non-negative, got {self.cooldown_s}")
+
+    @classmethod
+    def for_model(
+        cls,
+        model: ModelSpec,
+        tensor_parallel: int,
+        host_bandwidth: float = HOST_TO_DEVICE_BANDWIDTH,
+        init_overhead_s: float = REPLICA_INIT_OVERHEAD_S,
+        cooldown_s: float = REPLICA_TEARDOWN_S,
+    ) -> "ReplicaLifecycleModel":
+        """Warm-up = per-GPU weight shard over PCIe + fixed init.
+
+        Every GPU loads its ``weight_bytes / tensor_parallel`` shard in
+        parallel (instances also load concurrently), so the shard size —
+        not the replica's GPU count — sets the load time.
+        """
+        load = (model.weight_bytes / max(1, tensor_parallel)) / host_bandwidth
+        return cls(warmup_s=load + init_overhead_s, cooldown_s=cooldown_s)
+
+
 class IterationCostModel(Protocol):
     """What the global manager needs from a cost model (§5.5).
 

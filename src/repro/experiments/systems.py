@@ -140,6 +140,11 @@ def build_splitfuse_per_node(
     return ReplicatedServer(engines, name="LightLLM w/ SplitFuse")
 
 
+# Systems whose servers expose the crash()/recover surface failure
+# injection needs (LoongServe shapes; see LoongServeServer.crash).
+CRASHABLE_SYSTEMS = ("loongserve", "loongserve-no-scaleup")
+
+
 def make_fleet(
     system: str = "loongserve",
     replicas: int = 4,
@@ -151,6 +156,8 @@ def make_fleet(
     autoscale: bool = False,
     steal: bool = False,
     migrate_kv: bool = False,
+    faults=None,
+    warmup: bool | None = None,
     control_interval: float | None = None,
     **router_kwargs,
 ):
@@ -167,10 +174,22 @@ def make_fleet(
     rebalancing, and cross-replica session-KV migration); with all
     three off the fleet is the bit-identical route-once front-end of
     PR 1–2.  ``control_interval`` overrides the control-tick period.
+
+    ``faults`` takes a :class:`~repro.fleet.faults.FaultPlan`: replicas
+    crash at the scheduled instants (queued/running requests orphaned,
+    KV lost), orphans fail over through the placement router, and the
+    replica recovers after its downtime plus a modelled warm-up.  An
+    empty plan is the off switch — no injector is armed at all, so the
+    run stays bit-identical to a fault-free fleet.  ``warmup`` controls
+    the replica lifecycle pricing (weight-loading latency on unpark and
+    crash recovery, cool-down capacity on park); the default arms it
+    exactly when something can change replica lifecycle state
+    (``autoscale`` or ``faults``).
     """
     from repro.fleet import (
         DEFAULT_CONTROL_INTERVAL,
         ClusterPolicy,
+        FaultInjector,
         FleetServer,
         KVMigrator,
         QueueDepthAutoscaler,
@@ -178,6 +197,7 @@ def make_fleet(
         make_router,
     )
     from repro.costmodel.comm import CollectiveModel
+    from repro.costmodel.latency import ReplicaLifecycleModel
 
     if replicas < 1:
         raise ValueError(f"need at least one replica, got {replicas}")
@@ -185,6 +205,17 @@ def make_fleet(
         raise ValueError(
             "migrate_kv moves prefix-KV cache extents; it needs prefix_cache=True"
         )
+    if faults:
+        if system not in CRASHABLE_SYSTEMS:
+            raise ValueError(
+                f"failure injection needs a crashable system "
+                f"({', '.join(CRASHABLE_SYSTEMS)}), not {system!r}"
+            )
+        if faults.max_replica_id >= replicas:
+            raise ValueError(
+                f"fault plan targets replica {faults.max_replica_id} but the "
+                f"fleet has only {replicas} replicas"
+            )
     servers = [
         make_system(system, requests=requests, num_gpus=num_gpus,
                     gpus_per_node=gpus_per_node, prefix_cache=prefix_cache)
@@ -198,11 +229,22 @@ def make_fleet(
             model=config.model,
             tensor_parallel=config.tensor_parallel,
         )
+    if warmup is None:
+        warmup = autoscale or bool(faults)
+    lifecycle = None
+    if warmup:
+        config = getattr(servers[0], "config", None)
+        if config is not None:
+            lifecycle = ReplicaLifecycleModel.for_model(
+                config.model, config.tensor_parallel
+            )
     policy = ClusterPolicy(
         router=make_router(router, **router_kwargs),
         autoscaler=QueueDepthAutoscaler() if autoscale else None,
         stealer=WorkStealer() if steal else None,
         migrator=migrator,
+        injector=FaultInjector(plan=faults) if faults else None,
+        lifecycle=lifecycle,
     )
     return FleetServer(
         servers,

@@ -8,7 +8,9 @@ policies; a :class:`ClusterPolicy` optionally adds the control-loop
 actuators — replica autoscaling (:class:`QueueDepthAutoscaler`), work
 stealing (:class:`WorkStealer`), and cross-replica session-KV migration
 (:class:`KVMigrator`) — which the :class:`FleetController` evaluates on
-periodic control ticks.
+periodic control ticks.  :class:`FaultInjector` adds failure injection:
+scripted or stochastic replica crashes with KV loss, failover through
+the placement router, and warm-up-priced recovery.
 """
 
 from repro.fleet.autoscaler import AutoscalerConfig, QueueDepthAutoscaler
@@ -16,6 +18,13 @@ from repro.fleet.control import (
     DEFAULT_CONTROL_INTERVAL,
     ClusterPolicy,
     FleetController,
+)
+from repro.fleet.faults import (
+    DEFAULT_DOWNTIME_S,
+    FaultInjector,
+    FaultPlan,
+    ReplicaFault,
+    reset_for_failover,
 )
 from repro.fleet.migration import KVMigrator, MigrationConfig
 from repro.fleet.router import (
@@ -34,15 +43,19 @@ from repro.fleet.stealing import StealConfig, StealMove, WorkStealer
 
 __all__ = [
     "DEFAULT_CONTROL_INTERVAL",
+    "DEFAULT_DOWNTIME_S",
     "LONG_INPUT_THRESHOLD",
     "ROUTERS",
     "AutoscalerConfig",
     "CacheAffinityRouter",
     "ClusterPolicy",
+    "FaultInjector",
+    "FaultPlan",
     "FleetController",
     "FleetResult",
     "FleetServer",
     "KVMigrator",
+    "ReplicaFault",
     "LeastKVRouter",
     "LeastOutstandingRouter",
     "LengthAwareRouter",
@@ -55,4 +68,5 @@ __all__ = [
     "StealMove",
     "WorkStealer",
     "make_router",
+    "reset_for_failover",
 ]

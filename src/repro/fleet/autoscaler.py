@@ -69,10 +69,19 @@ class QueueDepthAutoscaler:
     def decide(self, replicas: Sequence, now: float) -> list[tuple[str, object]]:
         """One control tick's capacity actions: (``"unpark" | "drain"``,
         replica handle) pairs, at most one action per tick (capacity
-        moves one replica at a time, the standard anti-flap rule)."""
+        moves one replica at a time, the standard anti-flap rule).
+
+        Warm-up awareness: a replica loading weights (``warming``) is
+        capacity already in flight, so while one exists scale-in is
+        suppressed and the cold counter resets — otherwise a warm-up
+        longer than the control interval would be flap-parked the moment
+        it comes online (the cold streak having accumulated the whole
+        time it warmed).
+        """
         config = self.config
         online = [r for r in replicas if r.online]
         accepting = [r for r in online if not r.draining]
+        warming = any(getattr(r, "warming", False) for r in replicas)
         if not accepting:  # everything draining/parked: force capacity back
             target = self._unpark_target(replicas)
             return [("unpark", target)] if target is not None else []
@@ -84,7 +93,7 @@ class QueueDepthAutoscaler:
         overloaded = depth >= config.high_queue_depth or kv >= config.high_kv_fraction
         underloaded = depth <= config.low_queue_depth and kv <= config.low_kv_fraction
         self._hot_ticks = self._hot_ticks + 1 if overloaded else 0
-        self._cold_ticks = self._cold_ticks + 1 if underloaded else 0
+        self._cold_ticks = self._cold_ticks + 1 if underloaded and not warming else 0
 
         if self._hot_ticks >= config.hysteresis_ticks:
             target = self._unpark_target(replicas)
@@ -106,11 +115,20 @@ class QueueDepthAutoscaler:
     @staticmethod
     def _unpark_target(replicas: Sequence):
         """Cheapest capacity first: cancel a drain (the replica is still
-        warm and running), else wake the lowest-id parked replica."""
+        warm and running), else wake the lowest-id parked replica.
+
+        Warming replicas are already on their way (double-unparking one
+        would double-book capacity) and crashed ones cannot be woken (a
+        recovery replaces them on its own schedule) — both are skipped.
+        """
         for handle in replicas:
             if handle.online and handle.draining:
                 return handle
         for handle in replicas:
-            if not handle.online:
+            if (
+                not handle.online
+                and not getattr(handle, "warming", False)
+                and not getattr(handle, "crashed", False)
+            ):
                 return handle
         return None

@@ -22,11 +22,14 @@ pattern as the prefix cache's ``enable_prefix_cache`` flag.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.fleet.faults import ReplicaFault, reset_for_failover
 from repro.fleet.router import Router
 from repro.metrics.fleet import ElasticStats
 from repro.sim.engine import Simulator
+from repro.sim.events import Timer
 from repro.types import Request
 
 # Control ticks per simulated second strike a balance between actuation
@@ -37,6 +40,21 @@ DEFAULT_CONTROL_INTERVAL = 0.5
 # Ticks run after same-timestamp arrivals and server ticks, so the
 # control plane always observes post-placement state.
 _CONTROL_PRIORITY = 9
+
+# Faults (and recovery/warm-up completions) fire after server events at
+# the same instant — requests finishing exactly at the crash survive —
+# but before the control tick, which then observes post-crash state.
+_FAULT_PRIORITY = 8
+
+
+@dataclass
+class _Delivery:
+    """A stolen request riding behind its in-flight KV transfer."""
+
+    request: Request
+    src: object  # ReplicaHandle
+    dst: object
+    timer: Timer | None = None
 
 
 class ClusterPolicy:
@@ -54,6 +72,8 @@ class ClusterPolicy:
         autoscaler=None,
         stealer=None,
         migrator=None,
+        injector=None,
+        lifecycle=None,
     ) -> None:
         if router is None:
             raise ValueError("a ClusterPolicy needs a placement router")
@@ -61,14 +81,24 @@ class ClusterPolicy:
         self.autoscaler = autoscaler
         self.stealer = stealer
         self.migrator = migrator
+        # Failure injection (repro.fleet.faults.FaultInjector) and the
+        # warm-up/cool-down pricing replica lifecycle changes pay
+        # (repro.costmodel.latency.ReplicaLifecycleModel, used by both
+        # crash recovery and autoscaler unpark).
+        self.injector = injector
+        self.lifecycle = lifecycle
 
     @property
     def has_actuators(self) -> bool:
-        return any((self.autoscaler, self.stealer, self.migrator))
+        return any((self.autoscaler, self.stealer, self.migrator, self.injector))
 
     def reset(self) -> None:
-        """Clear any cross-run actuator state (hysteresis counters)."""
-        for part in (self.router, self.autoscaler, self.stealer, self.migrator):
+        """Clear any cross-run actuator state (hysteresis counters, the
+        injector's ledger)."""
+        for part in (
+            self.router, self.autoscaler, self.stealer, self.migrator,
+            self.injector,
+        ):
             reset = getattr(part, "reset", None)
             if callable(reset):
                 reset()
@@ -82,16 +112,20 @@ class ClusterPolicy:
             parts.append("+steal")
         if self.migrator is not None:
             parts.append("+migrate-kv")
+        if self.injector is not None:
+            parts.append("+faults")
         return "".join(parts)
 
     def place(self, request: Request, replicas: Sequence, now: float):
         """Route one arrival over the replicas accepting placements.
 
-        Falls back to the full fleet if every replica is parked or
-        draining (arrivals must land somewhere); passes the original
-        sequence through untouched when everyone is available, so a
-        policy with no actuators is indistinguishable from the bare
-        router.
+        Falls back to the replicas that could still serve (parked but
+        healthy) if every replica is draining or offline — arrivals must
+        land somewhere — but never onto a crashed or warming one; the
+        controller's limbo queue catches the nothing-left case.  Passes
+        the original sequence through untouched when everyone is
+        available, so a policy with no actuators is indistinguishable
+        from the bare router.
         """
         available = [r for r in replicas if r.available]
         if len(available) == len(replicas):
@@ -99,7 +133,9 @@ class ClusterPolicy:
         elif available:
             pool = available
         else:
-            pool = list(replicas)
+            pool = [
+                r for r in replicas if getattr(r, "placeable", True)
+            ] or list(replicas)
         return self.router.route(request, pool, now)
 
 
@@ -132,17 +168,32 @@ class FleetController:
         self.stats = stats
         self.interval = interval
         self._work_remaining = work_remaining or (lambda: False)
-        self._inflight_migrations = 0
-        # Stolen requests currently riding behind a KV transfer, keyed by
-        # destination replica id: the destination must not park (and wipe
-        # the just-imported extent) while a delivery is still in flight.
-        self._pending_deliveries: dict[int, int] = {}
+        # Stolen requests currently riding behind a KV transfer: the
+        # destination must not park (and wipe the just-imported extent)
+        # while a delivery is still in flight, and a destination crash
+        # must rescue the rider instead of delivering it to a corpse.
+        self._deliveries: list[_Delivery] = []
+        # Requests with nowhere to go (every replica crashed or warming)
+        # wait here until a recovery or warm-up restores capacity.
+        self._limbo: list[Request] = []
+        self._fault_timers: list[Timer] = []
+        self._lifecycle_timers: list[Timer] = []
 
     # -- loop ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Record the launch capacity and arm the first tick."""
+        """Record the launch capacity, schedule the fault plan's crash
+        events, and arm the first tick."""
         self.stats.record_capacity(self.sim.now, self._online_count())
+        if self.policy.injector is not None:
+            for fault in self.policy.injector.plan:
+                timer = self.sim.call_at(
+                    max(fault.time, self.sim.now),
+                    (lambda f=fault: self._inject(f)),
+                    priority=_FAULT_PRIORITY,
+                    label=f"fault:{fault.replica_id}",
+                )
+                self._fault_timers.append(timer)
         self._arm()
 
     def _arm(self) -> None:
@@ -155,14 +206,28 @@ class FleetController:
         self.stats.control_ticks += 1
         for handle in self.replicas:
             handle.refresh_probes()
+        self._flush_limbo()
         if self.policy.autoscaler is not None:
             self._autoscale()
         if self.policy.stealer is not None:
             self._steal()
         self._park_drained()
         self.stats.record_capacity(self.sim.now, self._online_count())
-        if self._work_remaining() or self._inflight_migrations > 0:
+        if self._work_remaining() or self._deliveries or self._limbo:
             self._arm()
+        else:
+            self._cancel_outstanding_timers()
+
+    def _cancel_outstanding_timers(self) -> None:
+        """The fleet has drained: faults still pending would only crash
+        idle replicas while stretching the makespan, and recoveries /
+        warm-ups have nothing left to serve — cancel both so the
+        simulation can go idle."""
+        for timer in self._fault_timers + self._lifecycle_timers:
+            if timer.active:
+                timer.cancel()
+        self._fault_timers = []
+        self._lifecycle_timers = []
 
     def _online_count(self) -> int:
         return sum(1 for r in self.replicas if r.online)
@@ -173,13 +238,16 @@ class FleetController:
         now = self.sim.now
         for action, handle in self.policy.autoscaler.decide(self.replicas, now):
             if action == "unpark":
-                # Cancelling an in-progress drain brings no replica back
-                # online (it never left), so the ledger logs it apart
-                # from a true unpark — the rendered park/unpark counts
-                # must reconcile with the capacity timeline.
-                label = "undrain" if handle.online else "unpark"
-                handle.unpark()
-                self.stats.record_action(now, label, handle.replica_id)
+                if handle.online:
+                    # Cancelling an in-progress drain brings no replica
+                    # back online (it never left), so the ledger logs it
+                    # apart from a true unpark — the rendered counts must
+                    # reconcile with the capacity timeline.  No warm-up
+                    # either: the replica stayed hot.
+                    handle.unpark()
+                    self.stats.record_action(now, "undrain", handle.replica_id)
+                else:
+                    self._begin_warmup(handle, "unpark")
             elif action == "drain":
                 handle.drain()
                 self.stats.record_action(now, "drain", handle.replica_id)
@@ -192,7 +260,7 @@ class FleetController:
                 continue
             if handle.outstanding_requests() > 0:
                 continue
-            if self._pending_deliveries.get(handle.replica_id, 0) > 0:
+            if any(d.dst is handle for d in self._deliveries):
                 continue  # a stolen request's KV is still in flight here
             if self.policy.migrator is not None:
                 handoffs = self.policy.migrator.rescue_resident(
@@ -205,6 +273,10 @@ class FleetController:
             handle.clear_prefix_cache()
             handle.park()
             self.stats.record_action(now, "park", handle.replica_id)
+            if self.policy.lifecycle is not None:
+                # Cool-down is a capacity charge, not a latency one: the
+                # replica-seconds bill grows, nothing waits on it.
+                self.stats.cooldown_seconds += self.policy.lifecycle.cooldown_s
 
     def _steal(self) -> None:
         now = self.sim.now
@@ -228,26 +300,143 @@ class FleetController:
             if delay > 0.0:
                 # The stolen request rides behind its KV transfer: it is
                 # re-submitted only once the prefix extent has landed.
-                self._inflight_migrations += 1
-                key = move.dst.replica_id
-                self._pending_deliveries[key] = (
-                    self._pending_deliveries.get(key, 0) + 1
-                )
-                self.sim.call_after(
+                record = _Delivery(request=move.request, src=move.src,
+                                   dst=move.dst, timer=None)
+                record.timer = self.sim.call_after(
                     delay,
-                    self._make_delivery(move.dst, move.request),
+                    (lambda r=record: self._deliver(r)),
                     label=f"kv-migrate:{move.request.request_id}",
                 )
+                self._deliveries.append(record)
             else:
                 move.dst.accept_stolen(move.request)
 
-    def _make_delivery(self, dst, request: Request):
-        def _deliver() -> None:
-            self._inflight_migrations -= 1
-            self._pending_deliveries[dst.replica_id] -= 1
-            dst.accept_stolen(request)
+    def _deliver(self, record: _Delivery) -> None:
+        self._deliveries.remove(record)
+        record.dst.accept_stolen(record.request)
 
-        return _deliver
+    # -- failure injection -----------------------------------------------------
+
+    def _inject(self, fault: ReplicaFault) -> None:
+        """One scheduled crash: kill, fail over, schedule the recovery."""
+        now = self.sim.now
+        injector = self.policy.injector
+        handle = (
+            self.replicas[fault.replica_id]
+            if fault.replica_id < len(self.replicas)
+            else None
+        )
+        if handle is None or not handle.online:
+            # Parked, warming, already crashed, or out of range: nothing
+            # left to kill (the fleet absorbed this fault).
+            injector.note_skipped(fault)
+            self.stats.record_action(now, "crash-skipped", fault.replica_id)
+            return
+        orphans, lost_tokens = handle.crash()
+        injector.note_injected(fault)
+        self.stats.crashes += 1
+        self.stats.lost_kv_tokens += lost_tokens
+        self.stats.record_action(now, "crash", handle.replica_id)
+        self.stats.note_outage_start(now, handle.replica_id)
+        self.stats.record_capacity(now, self._online_count())
+        orphans.extend(self._reclaim_deliveries(handle))
+        self._failover(orphans, now)
+        timer = self.sim.call_after(
+            fault.downtime_s,
+            (lambda h=handle: self._begin_warmup(h, "recover")),
+            priority=_FAULT_PRIORITY,
+            label=f"recover:{handle.replica_id}",
+        )
+        self._lifecycle_timers.append(timer)
+
+    def _reclaim_deliveries(self, dead) -> list[Request]:
+        """Rescue stolen requests whose KV was in flight toward a dead
+        destination.  The imported extent died with the replica, but the
+        source kept its copy (exports are copies), so failover through
+        an affinity router can land the rider back on warm KV.  A dead
+        *source* needs nothing: its export already completed."""
+        rescued: list[Request] = []
+        for record in [d for d in self._deliveries if d.dst is dead]:
+            record.timer.cancel()
+            self._deliveries.remove(record)
+            self.stats.rescued_inflight += 1
+            rescued.append(record.request)
+        return rescued
+
+    def _can_place(self) -> bool:
+        """Whether ``policy.place`` has any real candidate: an available
+        replica, or the placeable (parked-but-healthy) fallback pool."""
+        return any(getattr(r, "placeable", True) for r in self.replicas)
+
+    def _failover(self, orphans: list[Request], now: float) -> None:
+        """Re-dispatch a dead replica's orphans through the placement
+        router, charging the full re-prefill their lost KV forces.
+        Orphans take the same placement path arrivals do (including the
+        parked-but-healthy fallback); limbo is only for the
+        nothing-left case."""
+        for request in orphans:
+            self.stats.failovers += 1
+            self.stats.failover_reprefill_tokens += reset_for_failover(request)
+            if self._can_place():
+                self.policy.place(request, self.replicas, now).submit(request)
+            else:
+                self._limbo.append(request)
+
+    def try_hold_arrival(self, request: Request) -> bool:
+        """Park an arrival in limbo when nothing could serve it.
+
+        True only when every replica is crashed or warming — the one
+        situation where the pre-fault fallback (submit to a parked-but-
+        healthy replica) has no candidate.  The next recovery, warm-up,
+        or control tick re-places held requests.
+        """
+        if self._can_place():
+            return False
+        self._limbo.append(request)
+        return True
+
+    def _flush_limbo(self) -> None:
+        """Re-place held requests once somebody accepts work again."""
+        if not self._limbo or not self._can_place():
+            return
+        held, self._limbo = self._limbo, []
+        now = self.sim.now
+        for request in held:
+            self.policy.place(request, self.replicas, now).submit(request)
+
+    # -- replica lifecycle -----------------------------------------------------
+
+    def _begin_warmup(self, handle, action: str) -> None:
+        """Bring a parked or recovering replica back, paying warm-up.
+
+        Without a lifecycle model the transition is instant — exactly
+        the pre-warm-up behaviour, which keeps bare policies
+        bit-identical.
+        """
+        now = self.sim.now
+        self.stats.record_action(now, action, handle.replica_id)
+        lifecycle = self.policy.lifecycle
+        warmup = lifecycle.warmup_s if lifecycle is not None else 0.0
+        if warmup <= 0.0:
+            self._complete_warmup(handle)
+            return
+        handle.begin_warmup()
+        self.stats.warmup_seconds += warmup
+        timer = self.sim.call_after(
+            warmup,
+            (lambda h=handle: self._complete_warmup(h)),
+            priority=_FAULT_PRIORITY,
+            label=f"warmup:{handle.replica_id}",
+        )
+        self._lifecycle_timers.append(timer)
+
+    def _complete_warmup(self, handle) -> None:
+        handle.complete_warmup()
+        now = self.sim.now
+        self.stats.record_action(now, "online", handle.replica_id)
+        self.stats.note_outage_end(now, handle.replica_id)  # no-op for unparks
+        self.stats.record_capacity(now, self._online_count())
+        self._flush_limbo()
 
     def _charge_migration(self, handoff) -> float:
         """Record one executed handoff; returns its modelled seconds."""

@@ -55,8 +55,13 @@ class ReplicaHandle:
         self.stolen_out = 0
         # Elastic lifecycle: an offline (parked) replica receives no
         # placements; a draining one finishes resident work first.
+        # ``crashed`` marks an offline replica that *failed* (its KV is
+        # gone and it cannot be unparked — recovery replaces it);
+        # ``warming`` marks one loading weights on its way back online.
         self.online = True
         self.draining = False
+        self.crashed = False
+        self.warming = False
         self._kv_sources: list[tuple[int, object]] | None = None
 
     @property
@@ -67,6 +72,18 @@ class ReplicaHandle:
     def available(self) -> bool:
         """Eligible for new placements (online and not draining)."""
         return self.online and not self.draining
+
+    @property
+    def placeable(self) -> bool:
+        """Can serve work if something is submitted to it.
+
+        Parked (but healthy) replicas still count — their server state
+        is intact, which is the pre-fault fallback when every replica is
+        draining.  Crashed and warming replicas do not: submitting to
+        them would serve requests on hardware the simulation just
+        declared dead or still loading weights.
+        """
+        return not self.crashed and not self.warming
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -81,6 +98,8 @@ class ReplicaHandle:
         self.stolen_out = 0
         self.online = True
         self.draining = False
+        self.crashed = False
+        self.warming = False
         self._kv_sources = None
 
     def submit(self, request: Request) -> None:
@@ -101,6 +120,51 @@ class ReplicaHandle:
 
     def unpark(self) -> None:
         """Bring a parked (or draining) replica back into rotation."""
+        self.online = True
+        self.draining = False
+
+    # -- failure injection -----------------------------------------------------
+
+    def crash(self) -> tuple[list[Request], int]:
+        """Kill this replica; returns (orphaned requests, lost KV tokens).
+
+        Delegates the atomic state wipe to the server (which must expose
+        ``crash()`` — the LoongServe shapes do), prunes the orphans from
+        the routed ledger so the fleet result cannot double-count them
+        after failover, and takes the replica offline until recovery.
+        """
+        server_crash = getattr(self.server, "crash", None)
+        if not callable(server_crash):
+            raise TypeError(
+                f"replica {self.name!r} does not support failure injection "
+                f"(its server has no crash())"
+            )
+        orphans, lost_tokens = server_crash()
+        orphan_ids = {r.request_id for r in orphans}
+        self.routed = [r for r in self.routed if r.request_id not in orphan_ids]
+        self.online = False
+        self.draining = False
+        self.crashed = True
+        self.warming = False
+        self.refresh_probes()  # the crash rebuilt the pools underneath
+        return orphans, lost_tokens
+
+    def begin_warmup(self) -> None:
+        """Start loading weights (crash recovery or autoscaler unpark).
+
+        The replica stays out of the placement pool until
+        :meth:`complete_warmup`; the autoscaler sees ``warming`` and
+        neither double-unparks it nor scales in while capacity is in
+        flight.
+        """
+        self.warming = True
+        self.online = False
+        self.draining = False
+
+    def complete_warmup(self) -> None:
+        """Warm-up finished: rejoin the placement pool (empty-handed)."""
+        self.warming = False
+        self.crashed = False
         self.online = True
         self.draining = False
 
@@ -348,6 +412,7 @@ class FleetServer:
         base = getattr(replicas[0], "name", type(replicas[0]).__name__)
         self.name = name or f"{base} x{len(replicas)} [{self.policy.name}]"
         self._remaining_arrivals = 0
+        self._controller: FleetController | None = None
 
     def run(self, requests: list[Request]) -> FleetResult:
         """Serve a trace across the fleet; returns the merged result."""
@@ -358,9 +423,10 @@ class FleetServer:
         self._remaining_arrivals = len(requests)
         controller: FleetController | None = None
         elastic: ElasticStats | None = None
+        self._controller = None
         if self.policy.has_actuators:
             elastic = ElasticStats()
-            controller = FleetController(
+            controller = self._controller = FleetController(
                 policy=self.policy,
                 replicas=self.replicas,
                 sim=sim,
@@ -401,6 +467,10 @@ class FleetServer:
     def _make_arrival(self, request: Request, sim: Simulator):
         def _on_arrival() -> None:
             self._remaining_arrivals -= 1
+            if self._controller is not None and self._controller.try_hold_arrival(
+                request
+            ):
+                return  # every replica is dead or warming; limbo holds it
             handle = self.policy.place(request, self.replicas, sim.now)
             handle.submit(request)
 

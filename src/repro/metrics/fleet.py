@@ -80,6 +80,28 @@ class ElasticStats:
     migrated_kv_tokens: int = 0
     migrations: int = 0
     migration_seconds: float = 0.0
+    # Failure injection (``repro.fleet.faults``): crashes that fired,
+    # KV tokens the fleet lost with them, the failover ledger (orphans
+    # re-dispatched and the already-computed tokens they must redo), and
+    # stolen requests rescued from a mid-flight delivery to a dead
+    # replica.  The capacity timeline doubles as the availability
+    # timeline — crashes and recoveries are recorded into it.
+    crashes: int = 0
+    lost_kv_tokens: int = 0
+    failovers: int = 0
+    failover_reprefill_tokens: int = 0
+    rescued_inflight: int = 0
+    # Fault outages: ``[start, end, replica_id]`` windows a replica was
+    # down *because it crashed* (end is None while still down — clipped
+    # to the makespan when reading).  Kept apart from the capacity
+    # timeline so availability() measures capacity lost to faults, not
+    # capacity the autoscaler parked on purpose.
+    fault_outages: list[list] = field(default_factory=list)
+    # Replica lifecycle charges (``costmodel.latency.ReplicaLifecycleModel``):
+    # warm-up is also *latency* (the replica joins late); cool-down is
+    # capacity only.  Both are replica-seconds added to the bill.
+    warmup_seconds: float = 0.0
+    cooldown_seconds: float = 0.0
 
     def record_capacity(self, now: float, online: int) -> None:
         """Append a capacity transition (deduplicated against the last)."""
@@ -89,6 +111,28 @@ class ElasticStats:
 
     def record_action(self, now: float, action: str, replica_id: int) -> None:
         self.scaling_log.append((now, action, replica_id))
+
+    def note_outage_start(self, now: float, replica_id: int) -> None:
+        """A replica crashed: open its fault-downtime window."""
+        self.fault_outages.append([now, None, replica_id])
+
+    def note_outage_end(self, now: float, replica_id: int) -> None:
+        """A replica came back online; closes its open fault window, if
+        any (no-op for autoscaler unparks — parking is not an outage)."""
+        for outage in reversed(self.fault_outages):
+            if outage[2] == replica_id and outage[1] is None:
+                outage[1] = now
+                return
+
+    def fault_downtime_seconds(self, makespan: float) -> float:
+        """Replica-seconds lost to crashes (open windows clip at the
+        makespan — a replica still down when the run ends was down to
+        the end)."""
+        total = 0.0
+        for start, end, _ in self.fault_outages:
+            stop = makespan if end is None else min(end, makespan)
+            total += max(0.0, stop - start)
+        return total
 
     @property
     def scale_downs(self) -> int:
@@ -112,6 +156,32 @@ class ElasticStats:
         total += last_online * max(0.0, makespan - last_t)
         return total
 
+    def paid_replica_seconds(self, makespan: float) -> float:
+        """Capacity actually billed: online time plus the warm-up and
+        cool-down work replicas did while *not* serving."""
+        return (
+            self.replica_seconds(makespan)
+            + self.warmup_seconds
+            + self.cooldown_seconds
+        )
+
+    def availability(self, makespan: float) -> float:
+        """Fraction of peak replica-seconds *not* lost to faults.
+
+        1.0 means no crash ever cost capacity; each fault outage (crash
+        until back online, recovery warm-up included) pulls it down.
+        Capacity the autoscaler parked on purpose does not count —
+        deliberate scale-in is not unavailability.  Peak is the highest
+        online count the timeline saw (the fleet's intended size).
+        """
+        if not self.capacity_timeline or makespan <= 0:
+            return 1.0
+        peak = max(online for _, online in self.capacity_timeline)
+        if peak == 0:
+            return 1.0
+        lost = self.fault_downtime_seconds(makespan)
+        return max(0.0, 1.0 - lost / (peak * makespan))
+
     def render(self, makespan: float) -> str:
         """The elastic timeline block of ``FleetLoadReport.render``."""
         steps = " -> ".join(
@@ -134,6 +204,19 @@ class ElasticStats:
             f"kv migration: {self.migrated_kv_tokens:,} tokens in "
             f"{self.migrations} transfers ({self.migration_seconds * 1000:.1f} ms modelled)"
         )
+        if self.warmup_seconds or self.cooldown_seconds:
+            lines.append(
+                f"lifecycle: {self.warmup_seconds:.2f}s warm-up + "
+                f"{self.cooldown_seconds:.2f}s cool-down charged"
+            )
+        if self.crashes:
+            lines.append(
+                f"faults: {self.crashes} crashes, {self.lost_kv_tokens:,} KV "
+                f"tokens lost, {self.failovers} failovers "
+                f"({self.failover_reprefill_tokens:,} re-prefill tokens, "
+                f"{self.rescued_inflight} in-flight rescues); "
+                f"availability {self.availability(makespan):.1%}"
+            )
         return "\n".join(lines)
 
 

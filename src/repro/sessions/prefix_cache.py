@@ -110,13 +110,17 @@ class _Node:
 class PrefixKVCache:
     """Token-id prefix → resident KV extent map for one replica."""
 
-    def __init__(self, pool: UnifiedKVPool) -> None:
+    def __init__(
+        self, pool: UnifiedKVPool, stats: PrefixCacheStats | None = None
+    ) -> None:
         self.pool = pool
         self.root = _Node(tokens=(), parent=None, owner=0)
         self._owner_ids = itertools.count(1)
         self._locks: dict[int, list[_Node]] = {}
         self._resident_tokens = 0
-        self.stats = PrefixCacheStats()
+        # A replica crash rebuilds the cache over a fresh pool but keeps
+        # the old hit/miss ledger — that serving history happened.
+        self.stats = stats if stats is not None else PrefixCacheStats()
 
     # -- queries --------------------------------------------------------------
 

@@ -125,6 +125,15 @@ class Timer:
         self.cancelled = True
         self.queue.discard(self.event)
 
+    @property
+    def active(self) -> bool:
+        """Still scheduled: neither cancelled nor already fired.
+
+        The fleet controller uses this to drop spent lifecycle timers
+        from its ledger instead of cancelling events that already ran.
+        """
+        return not self.cancelled and not getattr(self.event, "_popped", False)
+
 
 def make_noop() -> Callable[[], None]:
     """A do-nothing action, useful as a wake-up tick."""
