@@ -39,9 +39,19 @@ crashes, `--fault-mtbf` draws a seeded stochastic schedule:
         --dataset sessions --rate 1.0 -n 30 --migrate-kv --steal \
         --fault-at 20:0 --fault-downtime 15
 
+Multi-tenant QoS (`repro.qos`): `--qos-mix` tags the generated trace
+with SLO classes (`interactive:0.3,standard:0.5,batch:0.2`), `--qos`
+arms deadline-aware dispatch + batch-tier preemption on LoongServe
+replicas, `--admission` adds deadline-feasibility admission control,
+`--router slo` places on predicted slack, and `--autoscale-predictive`
+scales on the forecast arrival rate instead of queue depth:
+
+    python -m repro serve --replicas 3 --dataset mixed --rate 12 -n 150 \
+        --qos-mix interactive:0.4,standard:0.4,batch:0.2 \
+        --qos --admission --router slo --prefix-cache
+
 (`python -m repro.experiments <figureN>` regenerates paper figures;
-`python -m repro.experiments sessions` runs the affinity-vs-baseline
-sweep.)
+`python -m repro.experiments qos` runs the QoS-vs-FCFS comparison.)
 """
 
 from __future__ import annotations
@@ -70,14 +80,21 @@ SYSTEM_CHOICES = [
 def _sample_trace(args: argparse.Namespace):
     """Draw a fresh trace from the selected dataset (single source of the
     sessions-vs-length-distribution dispatch, shared by serve/gen-trace)."""
+    qos_mix = None
+    if getattr(args, "qos_mix", None):
+        from repro.qos import parse_qos_mix
+
+        qos_mix = parse_qos_mix(args.qos_mix)
     if args.dataset == "sessions":
         # Multi-turn conversations: --rate is sessions/s, -n sessions.
         return make_session_trace(
-            rate=args.rate, num_sessions=args.num_requests, seed=args.seed
+            rate=args.rate, num_sessions=args.num_requests, seed=args.seed,
+            qos_mix=qos_mix,
         )
     return make_trace(
         DATASETS[args.dataset],
         rate=args.rate, num_requests=args.num_requests, seed=args.seed,
+        qos_mix=qos_mix,
     )
 
 
@@ -181,7 +198,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    trace = _build_trace(args)
+    if args.admission and not args.qos:
+        print("error: --admission requires --qos", file=sys.stderr)
+        return 2
+    if args.qos and args.system not in PREFIX_CACHE_SYSTEMS:
+        print(
+            f"error: --qos requires a LoongServe system "
+            f"({', '.join(PREFIX_CACHE_SYSTEMS)}), got {args.system!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.autoscale and args.autoscale_predictive:
+        print(
+            "error: pass at most one of --autoscale / --autoscale-predictive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicas < 2 and args.autoscale_predictive:
+        print(
+            "error: --autoscale-predictive needs a fleet (--replicas >= 2)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.qos_mix:
+        from repro.qos import parse_qos_mix
+
+        try:
+            parse_qos_mix(args.qos_mix)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    driver = None
+    if args.closed_loop:
+        if args.dataset != "sessions" or args.trace:
+            print(
+                "error: --closed-loop replays generated sessions with "
+                "arrival feedback; it requires --dataset sessions and no "
+                "--trace",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fault_mtbf is not None:
+            print(
+                "error: --fault-mtbf draws crashes over a static trace's "
+                "arrival span, which a closed-loop run does not have; "
+                "script crashes with --fault-at instead",
+                file=sys.stderr,
+            )
+            return 2
+        if args.replicas < 2 and args.system not in PREFIX_CACHE_SYSTEMS:
+            print(
+                f"error: single-deployment --closed-loop needs a LoongServe "
+                f"system ({', '.join(PREFIX_CACHE_SYSTEMS)}), got "
+                f"{args.system!r}",
+                file=sys.stderr,
+            )
+            return 2
+        from dataclasses import replace as _replace
+
+        from repro.sessions import SESSIONS, make_session_workload
+
+        qos_mix = None
+        if args.qos_mix:
+            from repro.qos import parse_qos_mix
+
+            qos_mix = parse_qos_mix(args.qos_mix)
+        driver = make_session_workload(
+            _replace(SESSIONS, closed_loop=True),
+            rate=args.rate, num_sessions=args.num_requests, seed=args.seed,
+            qos_mix=qos_mix,
+        )
+        trace = []
+    else:
+        trace = _build_trace(args)
     fault_plan = _build_fault_plan(args, trace) if faults_requested else None
     if fault_plan is not None and fault_plan.max_replica_id >= args.replicas:
         print(
@@ -208,14 +297,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             migrate_kv=args.migrate_kv,
             faults=fault_plan,
             control_interval=args.control_interval,
+            qos=args.qos, admission=args.admission,
+            autoscale_predictive=args.autoscale_predictive,
             **router_kwargs,
         )
     else:
         system = make_system(
             args.system, requests=trace, num_gpus=args.num_gpus,
             prefix_cache=args.prefix_cache,
+            qos=args.qos, admission=args.admission,
         )
-    result = system.run(clone_requests(trace))
+    if driver is not None:
+        result = system.run_driven(driver)
+        trace = driver.requests  # realised arrivals, for reporting below
+    else:
+        result = system.run(clone_requests(trace))
     summary = summarize_latency(result)
 
     label = getattr(system, "name", args.system)
@@ -239,6 +335,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"prefix cache: {rate:.1%} token hit rate, "
               f"{int(matched):,} prefill tokens saved, "
               f"{int(cache.get('evicted_tokens', 0)):,} evicted")
+    tagged = any(r.qos is not None for r in trace)
+    if tagged or result.qos_stats:
+        from repro.experiments.endtoend import reference_ideal_model
+        from repro.experiments.report import render_class_table
+        from repro.metrics.qos import per_class_report
+
+        ideal = reference_ideal_model(num_gpus=args.num_gpus)
+        print("\nper-class SLO attainment:")
+        print(render_class_table(per_class_report(result, ideal), result.makespan))
     if args.replicas > 1:
         from repro.experiments.endtoend import reference_ideal_model
         from repro.metrics.slo import slo_report
@@ -328,6 +433,27 @@ def main(argv: list[str] | None = None) -> int:
                             "begins warming back up (default 10)")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for the --fault-mtbf crash schedule")
+    serve.add_argument("--qos", action="store_true",
+                       help="arm SLO-class scheduling on LoongServe replicas: "
+                            "deadline-aware dispatch order + batch-tier decode "
+                            "preemption (repro.qos)")
+    serve.add_argument("--admission", action="store_true",
+                       help="reject/downgrade arrivals whose class deadline is "
+                            "already infeasible (requires --qos)")
+    serve.add_argument("--qos-mix", default=None, metavar="SPEC",
+                       help="tag the generated trace with SLO classes, e.g. "
+                            "interactive:0.3,standard:0.5,batch:0.2 "
+                            "(weights are normalised; sessions tag whole "
+                            "conversations)")
+    serve.add_argument("--autoscale-predictive", action="store_true",
+                       help="scale capacity on the forecast arrival rate "
+                            "(EWMA tokens/s vs the cost-model service rate) "
+                            "instead of reactive queue depth")
+    serve.add_argument("--closed-loop", action="store_true",
+                       help="sessions arrival feedback: each turn is "
+                            "submitted think-time after the previous turn "
+                            "finishes instead of at a pre-generated instant "
+                            "(--dataset sessions)")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")
@@ -336,6 +462,9 @@ def main(argv: list[str] | None = None) -> int:
     gen.add_argument("--rate", type=float, default=10.0)
     gen.add_argument("--num-requests", "-n", type=int, default=100)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--qos-mix", default=None, metavar="SPEC",
+                     help="tag the trace with SLO classes (round-trips "
+                          "through the jsonl file)")
     gen.add_argument("--output", "-o", required=True)
     gen.set_defaults(func=cmd_gen_trace)
 

@@ -153,6 +153,7 @@ class EngineServer:
         if request.max_total_len + 1 > self.kv_slots:
             request.state = RequestState.FINISHED
             self.aborted.append(request)
+            self._fire_terminal_hook(request)
             self.trace.record(
                 self.sim.now, "abort", request=request.request_id, engine=self.name
             )
@@ -273,6 +274,14 @@ class EngineServer:
         if request in self.running:
             self.running.remove(request)
         self.finished.append(request)
+        self._fire_terminal_hook(request)
+
+    def _fire_terminal_hook(self, request: Request) -> None:
+        """Run a request's completion hook exactly once (closed-loop
+        session drivers chain the next turn off it)."""
+        hook, request.on_finish = request.on_finish, None
+        if hook is not None:
+            hook(self.sim.now)
 
     # -- memory pressure ------------------------------------------------------------------
 

@@ -18,6 +18,9 @@ from repro.core.global_manager import GlobalManager, PlannedPrefill, SchedulePla
 from repro.core.scaling_plan import assign_masters, pick_append_instance
 from repro.costmodel.latency import RooflineCostModel
 from repro.kvcache.unified import UnifiedKVPool
+from repro.metrics.qos import QoSLedger
+from repro.qos.classes import resolve_qos_class
+from repro.qos.policy import QoSPolicy
 from repro.sessions.prefix_cache import PrefixKVCache
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
@@ -44,6 +47,7 @@ class LoongServeServer:
         cost_model: RooflineCostModel | None = None,
         manager: GlobalManager | None = None,
         trace: TraceRecorder | None = None,
+        qos: QoSPolicy | None = None,
     ) -> None:
         self.config = config
         self.cost_model = cost_model or RooflineCostModel(
@@ -51,6 +55,12 @@ class LoongServeServer:
         )
         self.manager = manager or GlobalManager(config, self.cost_model)
         self.trace = trace or TraceRecorder(enabled=False)
+        # QoS (repro.qos): with a policy armed the scheduler admits by
+        # deadline feasibility, orders dispatch earliest-slack-first
+        # within tier priority, and preempts batch-tier decodes for
+        # at-risk top-tier prefills.  None = pre-QoS behaviour, bit-
+        # identical (asserted by the golden-signature gates).
+        self.qos = qos
         self._reset()
 
     def _reset(self) -> None:
@@ -79,6 +89,9 @@ class LoongServeServer:
         self._decode_latency_count = 0
         self._tick_pending = False
         self._all_requests: list[Request] = []
+        self.qos_ledger: QoSLedger | None = (
+            QoSLedger() if self.qos is not None else None
+        )
         # Bumped by crash(): scheduled callbacks from before the crash
         # must never touch the rebuilt state (see _guarded).
         self._epoch = 0
@@ -96,6 +109,21 @@ class LoongServeServer:
                 label=f"arrival:{request.request_id}",
             )
         self.sim.run_until_idle()
+        return self._collect_result()
+
+    def run_driven(self, driver) -> ServeResult:
+        """Serve a closed-loop workload driver to completion.
+
+        The driver (e.g. :class:`repro.sessions.ClosedLoopDriver`)
+        schedules its own submissions on the server's clock — arrival
+        times become run outcomes instead of trace inputs.
+        """
+        self._reset()
+        driver.install(self.sim, self.submit)
+        self.sim.run_until_idle()
+        return self._collect_result()
+
+    def _collect_result(self) -> ServeResult:
         return ServeResult(
             system=self.name,
             requests=[r for r in self._all_requests if r not in self.aborted],
@@ -107,6 +135,9 @@ class LoongServeServer:
                 self.prefix_cache.stats.as_dict()
                 if self.prefix_cache is not None
                 else None
+            ),
+            qos_stats=(
+                self.qos_ledger.as_dict() if self.qos_ledger is not None else None
             ),
         )
 
@@ -202,6 +233,16 @@ class LoongServeServer:
         self._tick_pending = False
         self._drop_impossible_requests()
         self._match_prefixes()
+        if self.qos is not None:
+            # QoS pipeline: price and admit new arrivals (prefix matches
+            # just ran, so the admission bias sees hot prefixes), preempt
+            # batch-tier decodes for at-risk top-tier prefills, then
+            # order the queue earliest-slack-first within tier priority
+            # — dispatching scans FCFS, so queue order *is* the policy.
+            self._qos_admit()
+            self._qos_preempt_for_deadlines()
+            now = self.sim.now
+            self.pending.sort(key=lambda r: self.qos.dispatch_key(r, now))
         prefilling = [
             r for r in self._all_requests if r.state == RequestState.PREFILLING
         ]
@@ -223,10 +264,7 @@ class LoongServeServer:
         keep = []
         for request in self.pending:
             if request.max_total_len + 1 > capacity:
-                request.state = RequestState.FINISHED  # terminal, but flagged
-                self.aborted.append(request)
-                if self.prefix_cache is not None:
-                    self.prefix_cache.release(request.request_id)
+                self._abort_request(request)
                 self.trace.record(
                     self.sim.now, "abort", request=request.request_id,
                     needed=request.max_total_len, capacity=capacity,
@@ -234,6 +272,167 @@ class LoongServeServer:
             else:
                 keep.append(request)
         self.pending = keep
+
+    def _abort_request(self, request: Request) -> None:
+        """Terminal-abort a queued request (impossible or QoS-rejected)."""
+        request.state = RequestState.FINISHED  # terminal, but flagged
+        self.aborted.append(request)
+        if self.qos_ledger is not None and request.deadline is None:
+            # Capacity-impossible drops abort before admission ever
+            # prices them (a stamped deadline marks evaluation — the
+            # admission path stamps it even on rejection), yet the
+            # ledger must still reconcile with the trace: count them
+            # submitted-and-rejected here.
+            self.qos_ledger.note(request.qos, "submitted")
+            self.qos_ledger.note(request.qos, "rejected")
+        if self.prefix_cache is not None:
+            self.prefix_cache.release(request.request_id)
+        self._fire_terminal_hook(request)
+
+    def _fire_terminal_hook(self, request: Request) -> None:
+        """Run a request's completion hook exactly once (closed-loop
+        drivers chain the session's next turn off it; an abort counts —
+        the client gives up on the turn, the conversation goes on)."""
+        hook, request.on_finish = request.on_finish, None
+        if hook is not None:
+            hook(self.sim.now)
+
+    # -- QoS scheduling (repro.qos; self.qos is None = everything off) ---------
+
+    def _qos_backlog_tokens(self) -> int:
+        """Prefill tokens committed ahead of any new arrival: in-flight
+        prefills plus the already-admitted queue."""
+        inflight = sum(
+            r.prefill_tokens
+            for r in self._all_requests
+            if r.state == RequestState.PREFILLING
+        )
+        queued = sum(
+            r.prefill_tokens for r in self.pending if r.deadline is not None
+        )
+        return inflight + queued
+
+    def _qos_admit(self) -> None:
+        """Price and admit pending requests that have no deadline yet.
+
+        A stamped ``deadline`` marks a request as evaluated, so
+        preempted requests returning to the queue are not re-admitted
+        (their contract was set on arrival).
+        """
+        qos = self.qos
+        fresh = [r for r in self.pending if r.deadline is None]
+        if not fresh:
+            return
+        now = self.sim.now
+        backlog = self._qos_backlog_tokens()
+        rejected: list[Request] = []
+        for request in sorted(
+            fresh, key=lambda r: (r.arrival_time, r.request_id)
+        ):
+            self.qos_ledger.note(request.qos, "submitted")
+            if qos.admission is None:
+                request.deadline = qos.deadline_for(request)
+                self.qos_ledger.note(request.qos, "admitted")
+                backlog += request.prefill_tokens
+                continue
+            wait_s = backlog / qos.token_rate if qos.token_rate > 0 else 0.0
+            decision = qos.admission.decide(request, now, wait_s, qos)
+            if decision.admitted:
+                workload_class = resolve_qos_class(request.qos, qos.classes)
+                if decision.qos_class.name != workload_class.name:
+                    request.downgraded_to = decision.qos_class.name
+                    self.qos_ledger.note(request.qos, "downgraded")
+                request.deadline = decision.deadline
+                self.qos_ledger.note(request.qos, "admitted")
+                backlog += request.prefill_tokens
+                self.trace.record(
+                    now, "qos_admit", request=request.request_id,
+                    cls=decision.qos_class.name,
+                )
+            else:
+                rejected.append(request)
+                # Stamp the failed deadline: terminal state either way,
+                # and it marks the request as ledger-counted so
+                # _abort_request does not count it again.
+                request.deadline = decision.deadline
+                self.qos_ledger.note(request.qos, "rejected")
+                self.trace.record(
+                    now, "qos_reject", request=request.request_id,
+                    cls=decision.qos_class.name,
+                    predicted=round(decision.predicted_completion, 4),
+                    deadline=round(decision.deadline, 4),
+                )
+        if rejected:
+            dropped = set(map(id, rejected))
+            self.pending = [r for r in self.pending if id(r) not in dropped]
+            for request in rejected:
+                self._abort_request(request)
+
+    def _qos_preempt_for_deadlines(self) -> None:
+        """Free KV for at-risk top-tier prefills by preempting batch-tier
+        decodes (the existing preemption-by-recomputation path).
+
+        Triggered only when both hold: the pool cannot host the prefill,
+        and the request's slack has burned below the policy's fraction
+        of its deadline budget — a purely memory-blocked request with
+        plenty of slack just waits for decodes to finish naturally.
+        """
+        qos = self.qos
+        if not qos.preemption:
+            return
+        top = min(c.priority for c in qos.classes.values())
+        now = self.sim.now
+        urgent = [
+            r for r in self.pending
+            if r.deadline is not None and qos.qos_class(r).priority == top
+        ]
+        if not urgent:
+            return
+        urgent.sort(key=lambda r: qos.dispatch_key(r, now))
+        victims = [
+            (batch, r)
+            for batch in self.decode_batches
+            for r in batch.requests
+            if qos.qos_class(r).preemptible and qos.qos_class(r).priority > top
+        ]
+        # Cheapest sacrifice first: lowest tier, least decode progress
+        # lost, youngest arrival.
+        victims.sort(
+            key=lambda pair: (
+                -qos.qos_class(pair[1]).priority,
+                pair[1].generated,
+                -pair[1].arrival_time,
+            )
+        )
+        budget = qos.max_preemptions_per_tick
+        reserved = 0
+        for request in urgent:
+            demand = request.kv_demand
+            free = self.pool.total_free - reserved
+            if free >= demand:
+                reserved += demand
+                continue
+            deadline = request.deadline
+            slack = qos.slack(request, now)
+            if slack >= qos.preempt_slack_fraction * (
+                deadline - request.arrival_time
+            ):
+                continue  # plenty of slack left: wait, don't preempt
+            while free < demand and victims and budget > 0:
+                batch, victim = victims.pop(0)
+                if victim not in batch.requests:
+                    continue  # already finished/preempted this tick
+                self._preempt_request(victim, batch)
+                self.trace.record(
+                    now, "qos_preempt", victim=victim.request_id,
+                    beneficiary=request.request_id,
+                )
+                budget -= 1
+                free = self.pool.total_free - reserved
+            if free >= demand:
+                reserved += demand
+            if budget <= 0:
+                break
 
     def _match_prefixes(self) -> None:
         """Match pending prompts against the prefix cache and make room.
@@ -525,7 +724,7 @@ class LoongServeServer:
                 continue
             if self._reclaim_cached(batch.batch_size - master_free, list(masters)):
                 continue  # cache extents freed; retry the capacity check
-            victim = max(batch.requests, key=lambda r: r.arrival_time)
+            victim = self._pick_preemption_victim(batch)
             self._preempt_request(victim, batch)
         self._remove_batch(batch)
         return None
@@ -574,11 +773,31 @@ class LoongServeServer:
         )
         return True
 
+    def _pick_preemption_victim(self, batch: DecodeBatch) -> Request:
+        """Last-resort memory preemption victim.
+
+        Historically the youngest arrival (least FCFS disruption); with
+        QoS armed, lower tiers and preemptible contracts go first, the
+        arrival order breaking ties within a tier.
+        """
+        if self.qos is None:
+            return max(batch.requests, key=lambda r: r.arrival_time)
+        return max(
+            batch.requests,
+            key=lambda r: (
+                self.qos.qos_class(r).priority,
+                self.qos.qos_class(r).preemptible,
+                r.arrival_time,
+            ),
+        )
+
     def _preempt_request(self, request: Request, batch: DecodeBatch) -> None:
         self.pool.evict(request.request_id)
         batch.remove(request)
         request.state = RequestState.PREEMPTED
         request.preemptions += 1
+        if self.qos_ledger is not None:
+            self.qos_ledger.note(request.qos, "preempted")
         if self.prefix_cache is not None:
             # Unpin the matched prefix; recomputation re-matches whatever
             # is still cached when the request is re-dispatched.
@@ -651,6 +870,7 @@ class LoongServeServer:
         if request.prefill_end is not None:
             self._decode_latency_sum += self.sim.now - request.prefill_end
             self._decode_latency_count += 1
+        self._fire_terminal_hook(request)
         self.trace.record(self.sim.now, "finish", request=request.request_id)
 
     def _reclaim_cached(self, num_tokens: int, instance_ids: list[int]) -> bool:

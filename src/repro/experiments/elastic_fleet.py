@@ -195,20 +195,25 @@ def migration_hit_preservation(points: Sequence[ElasticPoint]) -> dict[str, floa
 
 def render_elastic_table(points: Sequence[ElasticPoint], with_cache: bool = False) -> str:
     """Text table: one row per variant."""
-    header = (
-        "variant          per-tok ms   p99 ms  fin/total  repl-s"
-        "  steals  re-prefill  migrated"
-    )
+    from repro.experiments.report import table
+
+    headers = ["variant", "per-tok ms", "p99 ms", "fin/total", "repl-s",
+               "steals", "re-prefill", "migrated"]
     if with_cache:
-        header += "  hit-rate"
-    lines = [header]
+        headers.append("hit-rate")
+    rows = []
     for p in points:
-        row = (
-            f"{p.variant:<17}{p.per_token * 1000:>9.2f}{p.per_token_p99 * 1000:>9.2f}"
-            f"{p.finished:>7}/{p.total:<4}{p.replica_seconds:>8.0f}"
-            f"{p.stolen:>8}{p.reprefill_tokens:>12,}{p.migrated_tokens:>10,}"
-        )
+        row = [
+            p.variant,
+            f"{p.per_token * 1000:.2f}",
+            f"{p.per_token_p99 * 1000:.2f}",
+            f"{p.finished}/{p.total}",
+            f"{p.replica_seconds:.0f}",
+            str(p.stolen),
+            f"{p.reprefill_tokens:,}",
+            f"{p.migrated_tokens:,}",
+        ]
         if with_cache:
-            row += f"{p.hit_rate:>10.1%}"
-        lines.append(row)
-    return "\n".join(lines)
+            row.append(f"{p.hit_rate:.1%}")
+        rows.append(row)
+    return table(headers, rows)

@@ -245,15 +245,25 @@ def availability_sweep(
 
 def render_fault_table(points: Sequence[FaultPoint]) -> str:
     """Text table: one row per variant."""
-    lines = [
-        "variant      per-tok ms   p99 ms  post-crash p99  fin/total"
-        "  avail  lost-kv  failovers  re-prefill  hit-rate"
+    from repro.experiments.report import table
+
+    rows = [
+        [
+            p.variant,
+            f"{p.per_token * 1000:.2f}",
+            f"{p.per_token_p99 * 1000:.2f}",
+            f"{p.post_crash_p99 * 1000:.2f}",
+            f"{p.finished}/{p.total}",
+            f"{p.availability:.1%}",
+            f"{p.lost_kv_tokens:,}",
+            str(p.failovers),
+            f"{p.failover_reprefill_tokens:,}",
+            f"{p.hit_rate:.1%}",
+        ]
+        for p in points
     ]
-    for p in points:
-        lines.append(
-            f"{p.variant:<13}{p.per_token * 1000:>8.2f}{p.per_token_p99 * 1000:>9.2f}"
-            f"{p.post_crash_p99 * 1000:>13.2f}ms{p.finished:>8}/{p.total:<4}"
-            f"{p.availability:>6.1%}{p.lost_kv_tokens:>9,}{p.failovers:>11}"
-            f"{p.failover_reprefill_tokens:>12,}{p.hit_rate:>10.1%}"
-        )
-    return "\n".join(lines)
+    return table(
+        ["variant", "per-tok ms", "p99 ms", "post-crash p99 ms", "fin/total",
+         "avail", "lost-kv", "failovers", "re-prefill", "hit-rate"],
+        rows,
+    )

@@ -106,18 +106,26 @@ def length_aware_advantage(curves: Sequence[FleetCurve]) -> dict[str, float]:
 
 def render_fleet_curves(curves: Sequence[FleetCurve]) -> str:
     """Text table: one row per (router, rate) measurement."""
-    lines = [
-        "router             rate  per-tok ms  input ms  output ms"
-        "  attain  fin/total  imb"
-    ]
-    for fleet_curve in curves:
+    from repro.experiments.report import table
+
+    rows = [
+        [
+            fleet_curve.router,
+            f"{point.rate:.1f}",
+            f"{point.per_token * 1000:.2f}",
+            f"{point.input_token * 1000:.2f}",
+            f"{point.output_token * 1000:.2f}",
+            f"{point.attainment:.1%}",
+            f"{point.finished}/{point.total}",
+            f"{imbalance:.2f}",
+        ]
+        for fleet_curve in curves
         for point, imbalance in zip(
             fleet_curve.curve.points, fleet_curve.token_imbalance
-        ):
-            lines.append(
-                f"{fleet_curve.router:<18}{point.rate:>5.1f}"
-                f"{point.per_token * 1000:>12.2f}{point.input_token * 1000:>10.2f}"
-                f"{point.output_token * 1000:>11.2f}{point.attainment:>8.1%}"
-                f"{point.finished:>6}/{point.total:<5}{imbalance:>5.2f}"
-            )
-    return "\n".join(lines)
+        )
+    ]
+    return table(
+        ["router", "rate", "per-tok ms", "input ms", "output ms",
+         "attain", "fin/total", "imb"],
+        rows,
+    )

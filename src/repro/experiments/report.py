@@ -20,7 +20,12 @@ from repro.experiments.microbench import (
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
-    """Align columns; headers underlined."""
+    """Align columns; headers underlined.
+
+    The one shared row formatter: every experiment table (figures,
+    fleet/sessions/elastic/fault sweeps, QoS per-class breakdowns)
+    renders through here instead of hand-aligning f-strings.
+    """
     widths = [len(h) for h in headers]
     for row in rows:
         for i, cell in enumerate(row):
@@ -134,6 +139,37 @@ def render_figure14b(rows: list[Figure14bRow]) -> str:
     return table(
         ["BS", "len", "1 master (ms)", "2 masters (ms)", "4 masters (ms)", "speedup"],
         body,
+    )
+
+
+def render_class_table(outcomes, makespan: float) -> str:
+    """Per-QoS-class breakdown (``repro.metrics.qos.ClassOutcome``).
+
+    Rows render in tier order — tightest deadline scale first — not
+    alphabetically.
+    """
+    rows = []
+    for name in sorted(
+        outcomes, key=lambda n: (outcomes[n].deadline_scale, n)
+    ):
+        o = outcomes[name]
+        rows.append(
+            [
+                o.qos_class,
+                f"{o.deadline_scale:.0f}x",
+                str(o.submitted),
+                str(o.finished),
+                f"{o.attainment:.1%}",
+                f"{o.goodput_tokens_per_s(makespan):,.0f}",
+                str(o.rejected),
+                str(o.downgraded),
+                str(o.preempted),
+            ]
+        )
+    return table(
+        ["class", "slo", "submitted", "finished", "attain", "goodput tok/s",
+         "rejected", "downgraded", "preempted"],
+        rows,
     )
 
 

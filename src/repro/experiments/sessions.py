@@ -121,21 +121,29 @@ def affinity_advantage(curves: Sequence[SessionCurve]) -> dict[str, float]:
 
 def render_session_curves(curves: Sequence[SessionCurve]) -> str:
     """Text table: one row per (router, rate) measurement."""
-    lines = [
-        "router             rate  per-tok ms  input ms  output ms"
-        "  attain  fin/total  hit-rate  saved-tok"
-    ]
-    for session_curve in curves:
-        rows = zip(
+    from repro.experiments.report import table
+
+    rows = [
+        [
+            session_curve.router,
+            f"{point.rate:.1f}",
+            f"{point.per_token * 1000:.2f}",
+            f"{point.input_token * 1000:.2f}",
+            f"{point.output_token * 1000:.2f}",
+            f"{point.attainment:.1%}",
+            f"{point.finished}/{point.total}",
+            f"{hit_rate:.1%}",
+            f"{saved:,}",
+        ]
+        for session_curve in curves
+        for point, hit_rate, saved in zip(
             session_curve.curve.points,
             session_curve.hit_rates,
             session_curve.saved_tokens,
         )
-        for point, hit_rate, saved in rows:
-            lines.append(
-                f"{session_curve.router:<18}{point.rate:>5.1f}"
-                f"{point.per_token * 1000:>12.2f}{point.input_token * 1000:>10.2f}"
-                f"{point.output_token * 1000:>11.2f}{point.attainment:>8.1%}"
-                f"{point.finished:>6}/{point.total:<5}{hit_rate:>8.1%}{saved:>11,}"
-            )
-    return "\n".join(lines)
+    ]
+    return table(
+        ["router", "rate", "per-tok ms", "input ms", "output ms",
+         "attain", "fin/total", "hit-rate", "saved-tok"],
+        rows,
+    )

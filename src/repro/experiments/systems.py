@@ -144,6 +144,43 @@ def build_splitfuse_per_node(
 # injection needs (LoongServe shapes; see LoongServeServer.crash).
 CRASHABLE_SYSTEMS = ("loongserve", "loongserve-no-scaleup")
 
+# QoS scheduling hooks live in the LoongServe global-manager loop, so
+# the same shapes gate it.
+QOS_SYSTEMS = CRASHABLE_SYSTEMS
+
+
+def _replica_token_rate(server) -> float:
+    """Prefill tokens/s one replica sustains, from its own cost model."""
+    from repro.qos import prefill_token_rate
+
+    config = getattr(server, "config", None)
+    cost = getattr(server, "cost_model", None)
+    if config is None or cost is None:
+        raise ValueError(
+            "predictive autoscaling needs replicas that expose a cost model "
+            "(LoongServe shapes)"
+        )
+    return prefill_token_rate(
+        cost, list(range(config.num_instances)), config.tensor_parallel
+    )
+
+
+def _slo_router_kwargs(server) -> dict:
+    """Cost-model wiring for the ``slo`` router (empty when the replica
+    shape exposes none — the router then ranks by token work alone)."""
+    from repro.metrics.slo import IdealLatencyModel
+
+    config = getattr(server, "config", None)
+    cost = getattr(server, "cost_model", None)
+    if config is None or cost is None:
+        return {}
+    ideal = IdealLatencyModel(
+        cost_model=cost,
+        tensor_parallel=config.tensor_parallel,
+        max_instances=config.num_instances,
+    )
+    return {"ideal": ideal, "token_rate": _replica_token_rate(server)}
+
 
 def make_fleet(
     system: str = "loongserve",
@@ -159,6 +196,9 @@ def make_fleet(
     faults=None,
     warmup: bool | None = None,
     control_interval: float | None = None,
+    qos: bool = False,
+    admission: bool = False,
+    autoscale_predictive: bool = False,
     **router_kwargs,
 ):
     """Build a fleet of identical replicas under a cluster policy.
@@ -184,7 +224,15 @@ def make_fleet(
     the replica lifecycle pricing (weight-loading latency on unpark and
     crash recovery, cool-down capacity on park); the default arms it
     exactly when something can change replica lifecycle state
-    (``autoscale`` or ``faults``).
+    (``autoscale``, ``autoscale_predictive``, or ``faults``).
+
+    QoS (``repro.qos``): ``qos`` arms every replica's scheduler with the
+    SLO-class policy (deadline-aware dispatch + batch-tier preemption),
+    ``admission`` adds the deadline-feasibility admission controller,
+    ``router="slo"`` places on predicted slack (the router is built with
+    the replicas' cost model), and ``autoscale_predictive`` swaps the
+    reactive autoscaler for the forecast-driven one.  All off = the
+    bit-identical pre-QoS fleet.
     """
     from repro.fleet import (
         DEFAULT_CONTROL_INTERVAL,
@@ -192,6 +240,7 @@ def make_fleet(
         FaultInjector,
         FleetServer,
         KVMigrator,
+        PredictiveAutoscaler,
         QueueDepthAutoscaler,
         WorkStealer,
         make_router,
@@ -204,6 +253,10 @@ def make_fleet(
     if migrate_kv and not prefix_cache:
         raise ValueError(
             "migrate_kv moves prefix-KV cache extents; it needs prefix_cache=True"
+        )
+    if autoscale and autoscale_predictive:
+        raise ValueError(
+            "pass at most one of autoscale / autoscale_predictive"
         )
     if faults:
         if system not in CRASHABLE_SYSTEMS:
@@ -218,7 +271,8 @@ def make_fleet(
             )
     servers = [
         make_system(system, requests=requests, num_gpus=num_gpus,
-                    gpus_per_node=gpus_per_node, prefix_cache=prefix_cache)
+                    gpus_per_node=gpus_per_node, prefix_cache=prefix_cache,
+                    qos=qos, admission=admission)
         for _ in range(replicas)
     ]
     migrator = None
@@ -230,7 +284,7 @@ def make_fleet(
             tensor_parallel=config.tensor_parallel,
         )
     if warmup is None:
-        warmup = autoscale or bool(faults)
+        warmup = autoscale or autoscale_predictive or bool(faults)
     lifecycle = None
     if warmup:
         config = getattr(servers[0], "config", None)
@@ -238,9 +292,20 @@ def make_fleet(
             lifecycle = ReplicaLifecycleModel.for_model(
                 config.model, config.tensor_parallel
             )
+    if router == "slo" and "ideal" not in router_kwargs:
+        # The SLO router prices queueing in seconds; hand it the
+        # replicas' own cost model when they expose one.
+        router_kwargs.update(_slo_router_kwargs(servers[0]))
+    autoscaler = None
+    if autoscale:
+        autoscaler = QueueDepthAutoscaler()
+    elif autoscale_predictive:
+        autoscaler = PredictiveAutoscaler(
+            token_rate=_replica_token_rate(servers[0])
+        )
     policy = ClusterPolicy(
         router=make_router(router, **router_kwargs),
-        autoscaler=QueueDepthAutoscaler() if autoscale else None,
+        autoscaler=autoscaler,
         stealer=WorkStealer() if steal else None,
         migrator=migrator,
         injector=FaultInjector(plan=faults) if faults else None,
@@ -261,16 +326,30 @@ def make_system(
     num_gpus: int = 8,
     gpus_per_node: int = 8,
     prefix_cache: bool = False,
+    qos: bool = False,
+    admission: bool = False,
 ):
     """Build any evaluated system by its paper name.
 
     ``prefix_cache=True`` enables the radix prefix-KV cache
     (``repro.sessions``); it is a LoongServe scheduler feature, so other
     systems reject it rather than silently serving without one.
+
+    ``qos=True`` arms the SLO-class policy (``repro.qos``) on the
+    server's scheduler — deadline-aware dispatch ordering plus
+    batch-tier decode preemption; ``admission=True`` additionally arms
+    the deadline-feasibility admission controller.  Both are LoongServe
+    scheduler features and off by default (bit-identical without them).
     """
     if prefix_cache and name not in ("loongserve", "loongserve-no-scaleup"):
         raise ValueError(
             f"prefix_cache is only supported on LoongServe systems, not {name!r}"
+        )
+    if admission and not qos:
+        raise ValueError("admission control requires the QoS policy (qos=True)")
+    if qos and name not in QOS_SYSTEMS:
+        raise ValueError(
+            f"QoS scheduling is only supported on LoongServe systems, not {name!r}"
         )
     cached_scheduler = SchedulerConfig(enable_prefix_cache=True)
     builders = {
@@ -300,6 +379,13 @@ def make_system(
         ),
     }
     try:
-        return builders[name]()
+        server = builders[name]()
     except KeyError:
         raise ValueError(f"unknown system {name!r}; choose from {sorted(builders)}") from None
+    if qos:
+        from repro.qos import QoSPolicy
+
+        server.qos = QoSPolicy.for_config(
+            server.config, server.cost_model, admission=admission
+        )
+    return server

@@ -13,7 +13,13 @@ scripted or stochastic replica crashes with KV loss, failover through
 the placement router, and warm-up-priced recovery.
 """
 
-from repro.fleet.autoscaler import AutoscalerConfig, QueueDepthAutoscaler
+from repro.fleet.autoscaler import (
+    AutoscalerConfig,
+    PredictiveAutoscaler,
+    PredictiveConfig,
+    QueueDepthAutoscaler,
+    unpark_target,
+)
 from repro.fleet.control import (
     DEFAULT_CONTROL_INTERVAL,
     ClusterPolicy,
@@ -36,6 +42,7 @@ from repro.fleet.router import (
     LengthAwareRouter,
     RoundRobinRouter,
     Router,
+    SLORouter,
     make_router,
 )
 from repro.fleet.server import FleetResult, FleetServer, ReplicaHandle
@@ -60,13 +67,17 @@ __all__ = [
     "LeastOutstandingRouter",
     "LengthAwareRouter",
     "MigrationConfig",
+    "PredictiveAutoscaler",
+    "PredictiveConfig",
     "QueueDepthAutoscaler",
     "ReplicaHandle",
     "RoundRobinRouter",
     "Router",
+    "SLORouter",
     "StealConfig",
     "StealMove",
     "WorkStealer",
     "make_router",
     "reset_for_failover",
+    "unpark_target",
 ]

@@ -1,22 +1,32 @@
-"""Replica autoscaling on queue depth and KV pressure.
+"""Replica autoscaling: reactive hysteresis and predictive forecasting.
 
 The autoscaler is the capacity actuator of the fleet control plane: it
-watches the fleet's queued work and KV occupancy each control tick and
-parks replicas the load does not need (scale-in) or returns parked ones
-to rotation when pressure builds (scale-out).  Scale-in is graceful —
-a victim first *drains* (no new placements, resident work finishes, its
-hot session KV is rescued by the migrator if one is armed) and only
-then parks.
+watches the fleet each control tick and parks replicas the load does
+not need (scale-in) or returns parked ones to rotation when pressure
+builds (scale-out).  Scale-in is graceful — a victim first *drains* (no
+new placements, resident work finishes, its hot session KV is rescued
+by the migrator if one is armed) and only then parks.
 
-Both directions are guarded by hysteresis: a signal must persist for
-``hysteresis_ticks`` consecutive control ticks before any action fires,
-so a single bursty tick cannot flap capacity.  The asymmetric default
-thresholds (scale out at 3 queued per replica, in below 0.5) widen the
-dead band the same way production autoscalers do.
+Two policies share the actuation surface:
+
+* :class:`QueueDepthAutoscaler` — **reactive**: queue-depth and
+  KV-pressure watermarks with hysteresis (a signal must persist for
+  ``hysteresis_ticks`` consecutive ticks, so a single bursty tick
+  cannot flap capacity).  It only moves after queues have already
+  built.
+* :class:`PredictiveAutoscaler` — **forecast-driven** (the SLO-aware
+  scale-out the PR 3 roadmap opened): estimate the arrival rate in
+  tokens/s (EWMA over the routed ledger), divide by the cost-model
+  service rate of one replica, and provision for the *forecast*
+  utilisation target — capacity moves when the trend says attainment
+  will degrade, before the queue exists.  Warm-up latency is exactly
+  why acting early matters: a replica unparked reactively arrives one
+  warm-up too late for the burst that summoned it.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -114,21 +124,176 @@ class QueueDepthAutoscaler:
 
     @staticmethod
     def _unpark_target(replicas: Sequence):
-        """Cheapest capacity first: cancel a drain (the replica is still
-        warm and running), else wake the lowest-id parked replica.
+        return unpark_target(replicas)
 
-        Warming replicas are already on their way (double-unparking one
-        would double-book capacity) and crashed ones cannot be woken (a
-        recovery replaces them on its own schedule) — both are skipped.
+
+def unpark_target(replicas: Sequence):
+    """Cheapest capacity first: cancel a drain (the replica is still
+    warm and running), else wake the lowest-id parked replica.
+
+    Warming replicas are already on their way (double-unparking one
+    would double-book capacity) and crashed ones cannot be woken (a
+    recovery replaces them on its own schedule) — both are skipped.
+    Shared by both autoscaling policies.
+    """
+    for handle in replicas:
+        if handle.online and handle.draining:
+            return handle
+    for handle in replicas:
+        if (
+            not handle.online
+            and not getattr(handle, "warming", False)
+            and not getattr(handle, "crashed", False)
+        ):
+            return handle
+    return None
+
+
+@dataclass(frozen=True)
+class PredictiveConfig:
+    """Knobs of :class:`PredictiveAutoscaler`.
+
+    ``target_utilization`` — the forecast load factor capacity is
+    provisioned for (replicas needed = forecast token rate / replica
+    service rate / target); keeping it below 1 leaves queueing headroom,
+    which is what converts "keeping up" into "meeting deadlines".
+    ``low_utilization`` — forecast utilisation of the *current* fleet
+    below which scale-in becomes eligible.
+    ``ewma_alpha`` — weight of the newest inter-tick rate observation.
+    ``scale_in_ticks`` — consecutive low-forecast ticks before a drain
+    (scale-out needs none: acting early is the policy's whole point).
+    """
+
+    target_utilization: float = 0.70
+    low_utilization: float = 0.40
+    ewma_alpha: float = 0.5
+    scale_in_ticks: int = 3
+    min_online: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if not 0.0 <= self.low_utilization < self.target_utilization:
+            raise ValueError(
+                "low_utilization must be in [0, target_utilization)"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.scale_in_ticks < 1:
+            raise ValueError("scale_in_ticks must be >= 1")
+        if self.min_online < 1:
+            raise ValueError("min_online must be >= 1")
+
+
+class PredictiveAutoscaler:
+    """Provision capacity for the forecast arrival rate, not the queue.
+
+    Each tick the scaler reads the fleet's cumulative arrived token work
+    (input + declared output of every routed request), differentiates it
+    into an instantaneous rate, smooths with an EWMA, and converts the
+    forecast into a replica count via the cost-model service rate
+    (``token_rate``, prefill tokens/s one replica sustains — see
+    :func:`repro.qos.admission.prefill_token_rate`).  Scale-out fires
+    the moment the desired count exceeds the accepting count; scale-in
+    waits for ``scale_in_ticks`` of agreement, because parking early is
+    cheap to regret but expensive to undo (warm-up).
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self, token_rate: float, config: PredictiveConfig | None = None
+    ) -> None:
+        if token_rate <= 0:
+            raise ValueError(f"token_rate must be positive, got {token_rate}")
+        self.token_rate = token_rate
+        self.config = config or PredictiveConfig()
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear the rate estimate (fresh fleet run)."""
+        self._last_time: float | None = None
+        self._last_tokens = 0
+        self._rate_ewma: float | None = None
+        self._low_ticks = 0
+
+    @staticmethod
+    def _arrived_tokens(replicas: Sequence) -> int:
+        """Cumulative token work routed fleet-wide (the arrival signal).
+
+        Prefers the handles' O(1) ``routed_tokens`` counter (stable
+        across crashes, where the routed *list* shrinks); stub replicas
+        without one fall back to summing the list.
         """
+        total = 0
         for handle in replicas:
-            if handle.online and handle.draining:
-                return handle
-        for handle in replicas:
-            if (
-                not handle.online
-                and not getattr(handle, "warming", False)
-                and not getattr(handle, "crashed", False)
-            ):
-                return handle
-        return None
+            counter = getattr(handle, "routed_tokens", None)
+            if counter is not None:
+                total += counter
+            else:
+                total += sum(
+                    r.input_len + r.output_len for r in handle.routed
+                )
+        return total
+
+    def forecast_rate(self) -> float:
+        """Current smoothed arrival estimate (tokens/s)."""
+        return self._rate_ewma or 0.0
+
+    def decide(self, replicas: Sequence, now: float) -> list[tuple[str, object]]:
+        config = self.config
+        online = [r for r in replicas if r.online]
+        accepting = [r for r in online if not r.draining]
+        if not accepting:  # everything draining/parked: force capacity back
+            target = unpark_target(replicas)
+            return [("unpark", target)] if target is not None else []
+
+        tokens = self._arrived_tokens(replicas)
+        if self._last_time is None or now <= self._last_time:
+            self._last_time = now
+            self._last_tokens = tokens
+            return []  # first observation: no rate yet
+        instantaneous = (tokens - self._last_tokens) / (now - self._last_time)
+        self._last_time = now
+        self._last_tokens = tokens
+        if self._rate_ewma is None:
+            self._rate_ewma = instantaneous
+        else:
+            self._rate_ewma = (
+                config.ewma_alpha * instantaneous
+                + (1.0 - config.ewma_alpha) * self._rate_ewma
+            )
+
+        demand = self._rate_ewma / self.token_rate  # replicas at 100% load
+        desired = max(
+            config.min_online,
+            min(len(replicas), math.ceil(demand / config.target_utilization)),
+        )
+        # Warming replicas are capacity already in flight: they count
+        # toward the provision (no double-unpark) and suppress scale-in
+        # (no flap-park the moment they come online).
+        warming = sum(1 for r in replicas if getattr(r, "warming", False))
+        utilization = demand / len(accepting)
+        if desired > len(accepting) + warming:
+            self._low_ticks = 0
+            target = unpark_target(replicas)
+            if target is not None:
+                return [("unpark", target)]
+            return []
+        underloaded = (
+            desired < len(accepting)
+            and utilization <= config.low_utilization
+            and warming == 0
+        )
+        self._low_ticks = self._low_ticks + 1 if underloaded else 0
+        if (
+            self._low_ticks >= config.scale_in_ticks
+            and len(accepting) > config.min_online
+        ):
+            victim = min(
+                accepting,
+                key=lambda r: (r.outstanding_tokens(), -r.replica_id),
+            )
+            self._low_ticks = 0
+            return [("drain", victim)]
+        return []

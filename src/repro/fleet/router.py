@@ -29,6 +29,11 @@ design space explored by cluster-serving work:
   their conversation's KV already lives.  Requests with no match
   anywhere (session openers, single-turn traffic) fall back to
   least-kv placement.
+* **slo** — deadline-aware placement for QoS serving (``repro.qos``):
+  predict each candidate replica's queueing delay from its live token
+  backlog (netting out any resident prefix of this request) and the
+  deployment's modelled prefill service rate, and place the request on
+  the replica leaving it the most slack against its class deadline.
 
 Routers duck-type against :class:`repro.fleet.server.ReplicaHandle`
 (``outstanding_requests`` / ``outstanding_tokens`` / ``kv_free`` /
@@ -55,6 +60,7 @@ __all__ = [
     "LengthAwareRouter",
     "RoundRobinRouter",
     "Router",
+    "SLORouter",
     "make_router",
 ]
 
@@ -184,12 +190,93 @@ class CacheAffinityRouter(Router):
         return probe(request) if callable(probe) else 0
 
 
+class SLORouter(Router):
+    """Place each request on the replica with the best predicted slack.
+
+    For every candidate replica the router estimates this request's
+    time-to-first-token there: the replica's outstanding token backlog
+    plus the request's own *uncached* prompt (a resident prefix match is
+    work the replica skips), divided by the deployment's prefill service
+    rate.  Slack is the request's class deadline minus arrival-to-now
+    wait, predicted queueing, and its no-load ideal latency; the maximum
+    wins.  Ties fall back to free KV, then outstanding requests, then
+    the replica id, so placement stays deterministic.
+
+    Built with an :class:`~repro.metrics.slo.IdealLatencyModel` and a
+    token rate (``repro.experiments.systems.make_fleet`` wires both from
+    the replicas' cost model); without them the router degrades to the
+    pure work-minimising order — the slack *ranking* over replicas is
+    unchanged, only the absolute seconds are unavailable.
+    """
+
+    name = "slo"
+
+    def __init__(
+        self,
+        ideal=None,
+        token_rate: float | None = None,
+        default_scale: float | None = None,
+    ) -> None:
+        from repro.metrics.slo import DEFAULT_SLO_SCALE, CachedIdealLatency
+
+        self.ideal = ideal
+        self.token_rate = token_rate
+        self.default_scale = (
+            DEFAULT_SLO_SCALE if default_scale is None else default_scale
+        )
+        self._cached_ideal = (
+            CachedIdealLatency(ideal) if ideal is not None else None
+        )
+
+    def route(self, request: Request, replicas: Sequence, now: float):
+        deadline = self._deadline(request)
+        return min(
+            replicas,
+            key=lambda r: (
+                -self._slack(request, r, now, deadline),
+                -r.kv_free(),
+                r.outstanding_requests(),
+                r.replica_id,
+            ),
+        )
+
+    def predicted_slack(self, request: Request, replica, now: float) -> float:
+        """Seconds to spare if placed on ``replica`` (public probe)."""
+        return self._slack(request, replica, now, self._deadline(request))
+
+    def _slack(
+        self, request: Request, replica, now: float, deadline: float
+    ) -> float:
+        backlog = replica.outstanding_tokens()
+        match = getattr(replica, "prefix_match_len", None)
+        resident = match(request) if callable(match) else 0
+        work = backlog + max(0, request.input_len - resident)
+        rate = self.token_rate if self.token_rate else 1.0
+        return deadline - now - work / rate - self._ideal_latency(request)
+
+    def _deadline(self, request: Request) -> float:
+        from repro.qos.classes import resolve_qos_class
+
+        scale = (
+            resolve_qos_class(request.qos).deadline_scale
+            if request.qos is not None
+            else self.default_scale
+        )
+        return request.arrival_time + scale * self._ideal_latency(request)
+
+    def _ideal_latency(self, request: Request) -> float:
+        if self._cached_ideal is None:
+            return 0.0
+        return self._cached_ideal(request)
+
+
 ROUTERS = {
     "round-robin": RoundRobinRouter,
     "least-outstanding": LeastOutstandingRouter,
     "least-kv": LeastKVRouter,
     "length-aware": LengthAwareRouter,
     "affinity": CacheAffinityRouter,
+    "slo": SLORouter,
 }
 
 

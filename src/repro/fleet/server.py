@@ -51,6 +51,13 @@ class ReplicaHandle:
         self.replica_id = replica_id
         self.server = server
         self.routed: list[Request] = []
+        # Cumulative token work ever submitted here (input + declared
+        # output).  Unlike summing ``routed``, the counter is O(1) to
+        # read and stable across crashes (orphans are pruned from the
+        # list but their arrival still happened) — the predictive
+        # autoscaler's arrival signal.  Withdrawals net out so a stolen
+        # request counts once fleet-wide.
+        self.routed_tokens = 0
         self.stolen_in = 0
         self.stolen_out = 0
         # Elastic lifecycle: an offline (parked) replica receives no
@@ -94,6 +101,7 @@ class ReplicaHandle:
             reset()
         self.server.use_simulator(sim)
         self.routed = []
+        self.routed_tokens = 0
         self.stolen_in = 0
         self.stolen_out = 0
         self.online = True
@@ -104,6 +112,7 @@ class ReplicaHandle:
 
     def submit(self, request: Request) -> None:
         self.routed.append(request)
+        self.routed_tokens += request.input_len + request.output_len
         self.server.submit(request)
 
     def drain(self) -> None:
@@ -299,6 +308,7 @@ class ReplicaHandle:
                     request.cached_prefix_len = 0
                 if request in self.routed:
                     self.routed.remove(request)
+                    self.routed_tokens -= request.input_len + request.output_len
                 self.stolen_out += 1
                 return True
         return False
@@ -350,6 +360,7 @@ class ReplicaHandle:
         aborted_ids = {r.request_id for r in aborted}
         stats = self._collect("iteration_stats")
         cache = getattr(self.server, "prefix_cache", None)
+        ledger = getattr(self.server, "qos_ledger", None)
         return ServeResult(
             system=self.name,
             requests=[r for r in self.routed if r.request_id not in aborted_ids],
@@ -358,6 +369,7 @@ class ReplicaHandle:
             makespan=makespan,
             aborted=aborted,
             cache_stats=cache.stats.as_dict() if cache is not None else None,
+            qos_stats=ledger.as_dict() if ledger is not None else None,
         )
 
     def _collect(self, attr: str) -> list:
@@ -416,11 +428,25 @@ class FleetServer:
 
     def run(self, requests: list[Request]) -> FleetResult:
         """Serve a trace across the fleet; returns the merged result."""
+        return self._serve(requests, driver=None)
+
+    def run_driven(self, driver) -> FleetResult:
+        """Serve a closed-loop workload driver across the fleet.
+
+        The driver (e.g. :class:`repro.sessions.ClosedLoopDriver`)
+        submits requests on its own schedule — each submission takes the
+        same placement path trace arrivals do, limbo-hold included.
+        """
+        return self._serve([], driver=driver)
+
+    def _serve(self, requests: list[Request], driver) -> FleetResult:
         sim = Simulator()
         self.policy.reset()
         for handle in self.replicas:
             handle.prepare(sim)
-        self._remaining_arrivals = len(requests)
+        self._remaining_arrivals = len(requests) + (
+            driver.total_requests if driver is not None else 0
+        )
         controller: FleetController | None = None
         elastic: ElasticStats | None = None
         self._controller = None
@@ -440,6 +466,8 @@ class FleetServer:
                 self._make_arrival(request, sim),
                 label=f"arrival:{request.request_id}",
             )
+        if driver is not None:
+            driver.install(sim, (lambda req: self._place_arrival(req, sim)))
         if controller is not None:
             controller.start()
         sim.run_until_idle()
@@ -454,6 +482,7 @@ class FleetServer:
             makespan=merged.makespan,
             aborted=merged.aborted,
             cache_stats=merged.cache_stats,
+            qos_stats=merged.qos_stats,
             per_replica=per_replica,
             elastic=elastic,
         )
@@ -464,14 +493,18 @@ class FleetServer:
             return True
         return any(h.outstanding_requests() > 0 for h in self.replicas)
 
+    def _place_arrival(self, request: Request, sim: Simulator) -> None:
+        """One arrival's placement path (trace and driver submissions)."""
+        self._remaining_arrivals -= 1
+        if self._controller is not None and self._controller.try_hold_arrival(
+            request
+        ):
+            return  # every replica is dead or warming; limbo holds it
+        handle = self.policy.place(request, self.replicas, sim.now)
+        handle.submit(request)
+
     def _make_arrival(self, request: Request, sim: Simulator):
         def _on_arrival() -> None:
-            self._remaining_arrivals -= 1
-            if self._controller is not None and self._controller.try_hold_arrival(
-                request
-            ):
-                return  # every replica is dead or warming; limbo holds it
-            handle = self.policy.place(request, self.replicas, sim.now)
-            handle.submit(request)
+            self._place_arrival(request, sim)
 
         return _on_arrival

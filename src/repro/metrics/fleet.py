@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.metrics.qos import merge_qos_stats
 from repro.types import ServeResult
 
 
@@ -32,7 +33,8 @@ def merge_serve_results(
     Requests, aborts, scaling events, and iteration stats concatenate;
     the fleet makespan is the maximum replica makespan (replicas on a
     shared clock all report it; independently-run replicas report their
-    own, and the fleet is done only when the last one is).
+    own, and the fleet is done only when the last one is).  Prefix-cache
+    and QoS-ledger counters are plain sums, so fleet totals stay exact.
     """
     if not per_replica:
         raise ValueError("need at least one replica result")
@@ -45,6 +47,7 @@ def merge_serve_results(
         makespan=max(result.makespan for result in per_replica),
         aborted=[r for result in per_replica for r in result.aborted],
         cache_stats=merge_cache_stats(per_replica),
+        qos_stats=merge_qos_stats(per_replica),
     )
 
 
@@ -253,12 +256,15 @@ class FleetLoadReport:
 
     ``elastic`` carries the control plane's recorder when the run used
     one (``None`` on static fleets); ``makespan`` anchors its
-    replica-seconds integral.
+    replica-seconds integral.  ``qos_stats`` is the fleet-summed
+    per-class admission ledger when any replica served under a QoS
+    policy (``None`` otherwise).
     """
 
     replicas: tuple[ReplicaLoad, ...]
     elastic: ElasticStats | None = None
     makespan: float = 0.0
+    qos_stats: dict[str, dict[str, float]] | None = None
 
     @property
     def token_imbalance(self) -> float:
@@ -312,6 +318,17 @@ class FleetLoadReport:
             lines.append(
                 f"prefix cache: {self.saved_prefill_tokens:,} prefill tokens saved"
             )
+        if self.qos_stats:
+            for name in sorted(self.qos_stats):
+                counters = self.qos_stats[name]
+                lines.append(
+                    f"qos {name:<12} "
+                    f"submitted {int(counters.get('submitted', 0)):>5}  "
+                    f"admitted {int(counters.get('admitted', 0)):>5}  "
+                    f"rejected {int(counters.get('rejected', 0)):>4}  "
+                    f"downgraded {int(counters.get('downgraded', 0)):>4}  "
+                    f"preempted {int(counters.get('preempted', 0)):>4}"
+                )
         if self.elastic is not None:
             lines.append(self.elastic.render(self.makespan))
         return "\n".join(lines)
@@ -344,5 +361,8 @@ def fleet_load_report(
     if makespan is None:
         makespan = max((r.makespan for r in per_replica), default=0.0)
     return FleetLoadReport(
-        replicas=tuple(loads), elastic=elastic, makespan=makespan
+        replicas=tuple(loads),
+        elastic=elastic,
+        makespan=makespan,
+        qos_stats=merge_qos_stats(per_replica),
     )

@@ -47,6 +47,28 @@ class IdealLatencyModel:
         return scale * self.ideal_latency(request)
 
 
+class CachedIdealLatency:
+    """Memoised ``IdealLatencyModel.ideal_latency`` by request shape.
+
+    Deadline scheduling, admission, and SLO routing all reprice the
+    same (input_len, output_len) shapes constantly; one shared wrapper
+    keeps the cost-model calls amortised (used by
+    ``repro.qos.QoSPolicy`` and ``repro.fleet.router.SLORouter``).
+    """
+
+    def __init__(self, ideal: IdealLatencyModel) -> None:
+        self.ideal = ideal
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def __call__(self, request: Request) -> float:
+        key = (request.input_len, request.output_len)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.ideal.ideal_latency(request)
+            self._cache[key] = cached
+        return cached
+
+
 @dataclass(frozen=True)
 class SLOReport:
     """Attainment outcome of one run."""
@@ -83,12 +105,36 @@ def max_rate_under_slo(
     rates: Sequence[float],
     attainments: Sequence[float],
     target: float = 0.90,
+    interpolate: bool = True,
 ) -> float:
-    """P90 goodput: the highest swept rate whose attainment >= target.
+    """P90 goodput: the highest rate at which attainment >= target.
 
-    Returns 0.0 when no swept rate meets the target.
+    Sweeps quantize the true knee to the swept grid; with
+    ``interpolate`` (the default) the crossing is linearly interpolated
+    between the last passing rate and the first failing rate above it,
+    recovering the sub-grid goodput the sweep actually measured.
+    ``interpolate=False`` restores the historical grid-snapped answer
+    (the highest swept rate whose attainment met the target).
+
+    Returns 0.0 when no swept rate meets the target (including the
+    empty sweep).
     """
     if len(rates) != len(attainments):
         raise ValueError("rates and attainments must align")
-    qualifying = [r for r, a in zip(rates, attainments) if a >= target]
-    return max(qualifying, default=0.0)
+    points = sorted(zip(rates, attainments))
+    passing = [r for r, a in points if a >= target]
+    if not passing:
+        return 0.0
+    best = max(passing)
+    if not interpolate:
+        return best
+    best_attainment = max(a for r, a in points if r == best)
+    above = [(r, a) for r, a in points if r > best]
+    if not above:
+        return best  # the sweep never failed past the knee
+    fail_rate, fail_attainment = above[0]
+    drop = best_attainment - fail_attainment
+    if drop <= 0:
+        return best  # degenerate (flat or re-rising) — do not extrapolate
+    fraction = (best_attainment - target) / drop
+    return best + fraction * (fail_rate - best)

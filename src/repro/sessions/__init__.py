@@ -19,17 +19,29 @@ Scheduler integration lives in :mod:`repro.core.server` (gated by
 routing in :mod:`repro.fleet.router` (``--router affinity``).
 """
 
+from repro.sessions.closed_loop import ClosedLoopDriver
 from repro.sessions.prefix_cache import PrefixCacheStats, PrefixKVCache
 from repro.sessions.workload import (
     SESSIONS,
+    SessionPlan,
     SessionSpec,
+    TurnPlan,
     make_session_trace,
+    make_session_workload,
+    plan_sessions,
+    tag_session_plans,
 )
 
 __all__ = [
     "SESSIONS",
+    "ClosedLoopDriver",
     "PrefixCacheStats",
     "PrefixKVCache",
+    "SessionPlan",
     "SessionSpec",
+    "TurnPlan",
     "make_session_trace",
+    "make_session_workload",
+    "plan_sessions",
+    "tag_session_plans",
 ]

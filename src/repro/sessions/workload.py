@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -77,6 +77,12 @@ class SessionSpec:
     # Sessions whose next prompt would exceed this context length end
     # early (the client's context-window cutoff).
     max_context_len: int = 32_000
+    # Arrival feedback: False = open-loop (arrivals fixed at generation
+    # time, think time plus a service allowance), True = closed-loop
+    # (turn t+1 is submitted think-time after turn t *finishes*).  A
+    # closed-loop workload has no static trace — build it with
+    # :func:`make_session_workload` and serve via ``run_driven``.
+    closed_loop: bool = False
 
     def __post_init__(self) -> None:
         if self.mean_turns < 1.0:
@@ -92,26 +98,60 @@ class SessionSpec:
 SESSIONS = SessionSpec()
 
 
-def make_session_trace(
+@dataclass(frozen=True)
+class TurnPlan:
+    """One pre-sampled conversation turn.
+
+    ``arrival_time`` is the open-loop absolute arrival (think time plus
+    the service-time allowance, as before); ``think_gap`` is the raw
+    think-time draw alone, which the closed-loop driver applies relative
+    to the *previous turn's finish* instead.
+    """
+
+    prompt: tuple[int, ...]
+    output: tuple[int, ...]
+    arrival_time: float
+    think_gap: float
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One conversation's pre-sampled turns (tokens chain turn to turn)."""
+
+    session_id: int
+    start_time: float
+    turns: tuple[TurnPlan, ...]
+    qos: str | None = None
+
+
+def plan_sessions(
     spec: SessionSpec = SESSIONS,
     rate: float = 1.0,
     num_sessions: int = 20,
     seed: int = 0,
-) -> list[Request]:
-    """Draw a Poisson-arrival multi-turn trace (``rate`` in sessions/s).
+    qos_mix: dict[str, float] | None = None,
+) -> list[SessionPlan]:
+    """Sample every session's turns, tokens, and think times.
 
-    Returns the requests of every turn of every session, sorted by
-    arrival time, with ``session_id``/``turn``/``token_ids`` populated so
-    prefix caching and affinity routing can chain the turns.
+    The sampling order is exactly the historical ``make_session_trace``
+    order, so a given seed keeps producing the same conversations; the
+    plans just make the think-time structure explicit so the same trace
+    can be replayed open-loop (fixed arrivals) or closed-loop (next turn
+    arrives think-time after the previous turn *finishes*).
+
+    ``qos_mix`` tags whole sessions with SLO classes from a separate RNG
+    stream (a conversation is one tenant's workload); ``None`` leaves
+    the plans untagged and the sampling untouched.
     """
     rng = np.random.default_rng(seed)
     session_starts = PoissonArrivals(rate=rate).times(num_sessions, rng)
-    requests: list[Request] = []
+    plans: list[SessionPlan] = []
     for start in session_starts:
         session_id = next_session_id()
         turns = min(int(rng.geometric(1.0 / spec.mean_turns)), spec.max_turns)
         history: list[int] = []
         arrival = float(start)
+        turn_plans: list[TurnPlan] = []
         for turn in range(turns):
             length_spec = spec.first_input if turn == 0 else spec.turn_input
             user_len = length_spec.sample(rng)
@@ -123,22 +163,111 @@ def make_session_trace(
             output_tokens = [
                 int(t) for t in rng.integers(0, VOCAB_SIZE, size=output_len)
             ]
-            requests.append(
-                Request(
-                    request_id=next_request_id(),
-                    input_len=len(prompt),
-                    output_len=output_len,
+            think_gap = float(rng.exponential(spec.think_time_mean_s))
+            turn_plans.append(
+                TurnPlan(
+                    prompt=tuple(prompt),
+                    output=tuple(output_tokens),
                     arrival_time=arrival,
-                    session_id=session_id,
-                    turn=turn,
-                    token_ids=tuple(prompt),
-                    output_token_ids=tuple(output_tokens),
+                    think_gap=think_gap,
                 )
             )
             history = prompt + output_tokens
-            arrival += float(
-                rng.exponential(spec.think_time_mean_s)
-                + _SERVICE_ALLOWANCE_S * output_len
+            arrival += think_gap + _SERVICE_ALLOWANCE_S * output_len
+        plans.append(
+            SessionPlan(
+                session_id=session_id,
+                start_time=float(start),
+                turns=tuple(turn_plans),
+            )
+        )
+    if qos_mix is not None:
+        plans = tag_session_plans(plans, qos_mix, seed=seed)
+    return plans
+
+
+def tag_session_plans(
+    plans: list[SessionPlan], qos_mix: dict[str, float], seed: int = 0
+) -> list[SessionPlan]:
+    """Assign each session an SLO class drawn from ``qos_mix``.
+
+    Uses a dedicated RNG stream so tagging never perturbs the sampled
+    conversations themselves.
+    """
+    from repro.qos.classes import qos_mix_sampler
+
+    draw = qos_mix_sampler(qos_mix, seed=seed)
+    return [replace(plan, qos=draw()) for plan in plans]
+
+
+def make_session_trace(
+    spec: SessionSpec = SESSIONS,
+    rate: float = 1.0,
+    num_sessions: int = 20,
+    seed: int = 0,
+    qos_mix: dict[str, float] | None = None,
+) -> list[Request]:
+    """Draw a Poisson-arrival multi-turn trace (``rate`` in sessions/s).
+
+    Returns the requests of every turn of every session, sorted by
+    arrival time, with ``session_id``/``turn``/``token_ids`` populated so
+    prefix caching and affinity routing can chain the turns.  The trace
+    is open-loop; see :mod:`repro.sessions.closed_loop` for the feedback
+    variant driven off the same plans.
+    """
+    if spec.closed_loop:
+        raise ValueError(
+            "a closed-loop SessionSpec has no static trace (arrival times "
+            "are run outcomes); build the workload with "
+            "make_session_workload and serve it via run_driven"
+        )
+    plans = plan_sessions(
+        spec, rate=rate, num_sessions=num_sessions, seed=seed, qos_mix=qos_mix
+    )
+    requests: list[Request] = []
+    for plan in plans:
+        for turn, turn_plan in enumerate(plan.turns):
+            requests.append(
+                Request(
+                    request_id=next_request_id(),
+                    input_len=len(turn_plan.prompt),
+                    output_len=len(turn_plan.output),
+                    arrival_time=turn_plan.arrival_time,
+                    session_id=plan.session_id,
+                    turn=turn,
+                    token_ids=turn_plan.prompt,
+                    output_token_ids=turn_plan.output,
+                    qos=plan.qos,
+                )
             )
     requests.sort(key=lambda r: (r.arrival_time, r.request_id))
     return requests
+
+
+def make_session_workload(
+    spec: SessionSpec = SESSIONS,
+    rate: float = 1.0,
+    num_sessions: int = 20,
+    seed: int = 0,
+    qos_mix: dict[str, float] | None = None,
+):
+    """Build the workload the spec's arrival model calls for.
+
+    Open-loop specs return a static request trace (serve via ``run``);
+    ``spec.closed_loop=True`` returns a
+    :class:`~repro.sessions.closed_loop.ClosedLoopDriver` over the same
+    pre-sampled conversations (serve via ``run_driven``).  Both draw
+    identical sessions for a given seed — only the arrival coupling
+    differs.
+    """
+    if not spec.closed_loop:
+        return make_session_trace(
+            spec, rate=rate, num_sessions=num_sessions, seed=seed,
+            qos_mix=qos_mix,
+        )
+    from repro.sessions.closed_loop import ClosedLoopDriver
+
+    plans = plan_sessions(
+        spec, rate=rate, num_sessions=num_sessions, seed=seed, qos_mix=qos_mix
+    )
+    return ClosedLoopDriver(plans)

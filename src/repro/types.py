@@ -63,6 +63,17 @@ class Request:
     set by the scheduler: how many leading prompt tokens were found
     resident, so the prefill processes (and allocates) only the uncached
     suffix.
+
+    QoS (``repro.qos``): ``qos`` is the workload-assigned SLO class name
+    (``interactive``/``standard``/``batch``; ``None`` = untagged, served
+    with default semantics).  ``deadline``/``downgraded_to`` are runtime
+    state written by a QoS-armed scheduler: the absolute completion
+    deadline set at admission, and the class the admission controller
+    renegotiated the request down to (the workload tag is never
+    overwritten, so per-class reporting stays anchored to what the
+    client asked for).  ``on_finish`` is an optional completion hook
+    (called with the finish time) used by closed-loop workload drivers
+    to schedule a session's next turn.
     """
 
     request_id: int
@@ -74,10 +85,14 @@ class Request:
     turn: int = 0
     token_ids: tuple[int, ...] | None = None
     output_token_ids: tuple[int, ...] | None = None
+    qos: str | None = None
 
     state: RequestState = RequestState.PENDING
     generated: int = 0
     cached_prefix_len: int = 0
+    deadline: float | None = None
+    downgraded_to: str | None = None
+    on_finish: object | None = field(default=None, repr=False, compare=False)
 
     prefill_start: float | None = None
     prefill_end: float | None = None
@@ -137,6 +152,12 @@ class Request:
         """Worst-case *new* slots this request will ever hold (the §5.1
         eviction-avoidance reserve, net of the cached prefix)."""
         return self.max_total_len + 1 - self.cached_prefix_len
+
+    @property
+    def effective_qos(self) -> str | None:
+        """The class the request is currently served under (a downgrade
+        renegotiates service, the workload tag in ``qos`` stays)."""
+        return self.downgraded_to or self.qos
 
     @property
     def finished(self) -> bool:
@@ -222,7 +243,9 @@ class ServeResult:
     """Output of one serving-system run over a workload trace.
 
     ``cache_stats`` is populated (as a plain counter dict) by servers
-    running with a prefix-KV cache; ``None`` otherwise.
+    running with a prefix-KV cache; ``None`` otherwise.  ``qos_stats``
+    is the per-class admission/preemption ledger (class name -> counter
+    dict) written by QoS-armed servers; ``None`` otherwise.
     """
 
     system: str
@@ -232,6 +255,7 @@ class ServeResult:
     makespan: float = 0.0
     aborted: list[Request] = field(default_factory=list)
     cache_stats: dict[str, float] | None = None
+    qos_stats: dict[str, dict[str, float]] | None = None
 
     @property
     def finished_requests(self) -> list[Request]:

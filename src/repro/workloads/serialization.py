@@ -21,7 +21,8 @@ def trace_to_records(requests: Sequence[Request]) -> list[dict]:
     """Workload-defining fields only (no runtime state).
 
     Session fields (``session_id``/``turn``/``token_ids``) are emitted
-    only for multi-turn requests, keeping single-turn traces unchanged.
+    only for multi-turn requests, and the QoS class tag only for tagged
+    requests, keeping plain single-turn traces unchanged.
     """
     records = []
     for r in requests:
@@ -32,6 +33,8 @@ def trace_to_records(requests: Sequence[Request]) -> list[dict]:
             "arrival_time": r.arrival_time,
             "max_tokens": r.max_tokens,
         }
+        if r.qos is not None:
+            record["qos"] = r.qos
         if r.session_id is not None:
             record["session_id"] = r.session_id
             record["turn"] = r.turn
@@ -77,6 +80,9 @@ def records_to_trace(records: Iterable[dict]) -> list[Request]:
                     tuple(int(t) for t in output_token_ids)
                     if output_token_ids is not None
                     else None
+                ),
+                qos=(
+                    str(record["qos"]) if record.get("qos") is not None else None
                 ),
             )
         )

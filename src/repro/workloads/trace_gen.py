@@ -33,12 +33,18 @@ def make_trace(
     seed: int = 0,
     max_input_len: int | None = None,
     arrivals: ArrivalProcess | None = None,
+    qos_mix: dict[str, float] | None = None,
 ) -> list[Request]:
     """Draw a trace from a dataset distribution.
 
     Arrivals default to the paper's Poisson process at ``rate``; pass an
     explicit ``arrivals`` process (e.g. ``BurstyArrivals``) to change
     the temporal shape while keeping the length distribution.
+
+    ``qos_mix`` tags each request with an SLO class drawn from the given
+    class->weight mapping (``repro.qos``).  Tagging uses its own RNG
+    stream, so a ``qos_mix=None`` trace is bit-identical to pre-QoS
+    generation and a tagged trace differs only in the ``qos`` field.
     """
     rng = np.random.default_rng(seed)
     times = (arrivals or PoissonArrivals(rate=rate)).times(num_requests, rng)
@@ -55,6 +61,10 @@ def make_trace(
                 arrival_time=arrival,
             )
         )
+    if qos_mix is not None:
+        from repro.qos.classes import assign_qos
+
+        assign_qos(requests, qos_mix, seed=seed)
     return requests
 
 
@@ -117,6 +127,7 @@ def clone_requests(requests: Sequence[Request]) -> list[Request]:
             turn=r.turn,
             token_ids=r.token_ids,
             output_token_ids=r.output_token_ids,
+            qos=r.qos,
         )
         for r in requests
     ]

@@ -84,7 +84,10 @@ class TestEndToEndHarness:
                     attainment=attainment, finished=1, total=1, aborted=0,
                 )
             )
-        assert curve.goodput() == 1.0
+        # Attainment crosses the 0.9 target between the swept rates; the
+        # default interpolation recovers the sub-grid crossing.
+        assert curve.goodput() == pytest.approx(1.2)
+        assert curve.goodput(target=0.95) == pytest.approx(1.1)
 
     def test_figure13b_histogram_nonempty(self):
         bins = endtoend.figure13b(duration_s=15.0, rate=30.0)
@@ -99,7 +102,9 @@ class TestEndToEndHarness:
             ]
         }
         ratios = endtoend.headline_ratios(results)
-        assert ratios["vllm"] == pytest.approx(2.0)
+        # LoongServe passes the whole sweep (goodput 2.0); vLLM's knee
+        # interpolates to 1.2, so the headline ratio is 2.0 / 1.2.
+        assert ratios["vllm"] == pytest.approx(2.0 / 1.2)
 
     @staticmethod
     def _curve(name, points):

@@ -24,10 +24,10 @@ from tests.conftest import StubReplica, make_request
 
 
 class TestRouters:
-    def test_registry_has_five_policies(self):
+    def test_registry_has_six_policies(self):
         assert set(ROUTERS) == {
             "round-robin", "least-outstanding", "least-kv", "length-aware",
-            "affinity",
+            "affinity", "slo",
         }
         for name in ROUTERS:
             assert make_router(name).name == name

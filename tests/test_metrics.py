@@ -1,6 +1,8 @@
 """Tests for metrics: normalised latencies, SLO attainment, histograms."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.cluster import Cluster
 from repro.costmodel.latency import RooflineCostModel
@@ -87,13 +89,85 @@ class TestSLO:
         assert report.total == 2
         assert report.attainment == pytest.approx(0.5)
 
-    def test_max_rate_under_slo(self):
+    def test_aborted_only_run_attains_nothing(self, ideal):
+        result = ServeResult(system="x", requests=[], aborted=[make_request()])
+        report = slo_report(result, ideal)
+        assert report.total == 1
+        assert report.attained == 0
+        assert report.attainment == 0.0
+
+    def test_empty_run_attainment_zero(self, ideal):
+        report = slo_report(ServeResult(system="x", requests=[]), ideal)
+        assert report.total == 0
+        assert report.attainment == 0.0
+
+    def test_single_token_output_has_no_decode_component(self, ideal):
+        # output_len=1 means zero decode steps: the ideal latency is
+        # pure prefill and stays finite/positive.
+        one = make_request(input_len=1_000, output_len=1)
+        two = make_request(input_len=1_000, output_len=2)
+        assert 0.0 < ideal.ideal_latency(one) < ideal.ideal_latency(two)
+
+    @given(
+        shorter=st.integers(min_value=1, max_value=50_000),
+        delta=st.integers(min_value=1, max_value=50_000),
+        output_len=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_deadline_monotone_in_input_len(
+        self, ideal, shorter, delta, output_len
+    ):
+        # A longer prompt can never buy a *tighter* deadline: the 25x
+        # no-load SLO shape must be monotone in input length.
+        a = make_request(input_len=shorter, output_len=output_len)
+        b = make_request(input_len=shorter + delta, output_len=output_len)
+        assert ideal.deadline(b) >= ideal.deadline(a)
+
+    def test_max_rate_under_slo_grid_snapped(self):
         rates = [1.0, 2.0, 3.0, 4.0]
         attainments = [1.0, 0.95, 0.80, 0.40]
-        assert max_rate_under_slo(rates, attainments, target=0.9) == 2.0
+        assert max_rate_under_slo(
+            rates, attainments, target=0.9, interpolate=False
+        ) == 2.0
+
+    def test_max_rate_interpolates_the_crossing(self):
+        rates = [1.0, 2.0, 3.0, 4.0]
+        attainments = [1.0, 0.95, 0.80, 0.40]
+        # 0.95 -> 0.80 crosses 0.90 a third of the way from 2.0 to 3.0.
+        expected = 2.0 + (0.95 - 0.90) / (0.95 - 0.80) * 1.0
+        assert max_rate_under_slo(rates, attainments, target=0.9) == pytest.approx(
+            expected
+        )
+
+    def test_max_rate_interpolation_between_grid_neighbours(self):
+        value = max_rate_under_slo([1.0, 2.0], [1.0, 0.5], target=0.9)
+        assert 1.0 < value < 2.0
+        assert value == pytest.approx(1.2)
+
+    def test_max_rate_unsorted_sweep_is_order_independent(self):
+        rates = [3.0, 1.0, 4.0, 2.0]
+        attainments = [0.80, 1.0, 0.40, 0.95]
+        assert max_rate_under_slo(rates, attainments, target=0.9) == pytest.approx(
+            max_rate_under_slo(
+                sorted(rates), [1.0, 0.95, 0.80, 0.40], target=0.9
+            )
+        )
+
+    def test_max_rate_all_passing_has_nothing_to_interpolate(self):
+        assert max_rate_under_slo([1.0, 2.0], [1.0, 0.95], target=0.9) == 2.0
+
+    def test_max_rate_flat_attainment_does_not_extrapolate(self):
+        # Attainment equal on both sides of the knee: no meaningful
+        # crossing, keep the grid answer.
+        assert max_rate_under_slo([1.0, 2.0], [0.9, 0.9], target=0.9) == 2.0
 
     def test_max_rate_none_qualify(self):
         assert max_rate_under_slo([1.0], [0.5]) == 0.0
+        assert max_rate_under_slo([1.0], [0.5], interpolate=False) == 0.0
+
+    def test_max_rate_empty_sweep(self):
+        assert max_rate_under_slo([], [], target=0.9) == 0.0
+        assert max_rate_under_slo([], [], interpolate=False) == 0.0
 
     def test_max_rate_misaligned_raises(self):
         with pytest.raises(ValueError):
