@@ -1,0 +1,368 @@
+"""Simulator speed: optimised discrete events/sec and hybrid fluid mode.
+
+Two claims, measured end to end on the single-server simulator:
+
+* the optimised discrete path (slotted events, incremental server state,
+  memoised cost models, the hoisted batching DP) processes events several
+  times faster than the pre-PR baseline at identical semantics — the
+  discrete path is bit-identical, so a fixed event budget times exactly
+  the same work;
+* hybrid mode (``sim_mode="hybrid"``, ``repro.sim.fluid``) collapses
+  steady-state decode stretches into closed-form windows, cutting both
+  the event count and the end-to-end wall time by another order of
+  magnitude on steady traces, while matching discrete aggregates within
+  tolerance.
+
+Run as a script to (re)generate ``BENCH_sim_speed.json``::
+
+    PYTHONPATH=src python benchmarks/bench_sim_speed.py [--quick]
+    [--steady-scales 10000,100000,1000000]
+
+Each scenario runs in a forked child so ``ru_maxrss`` is a true
+per-scenario peak.  The pre-PR baseline numbers were measured at the
+seed commit (53aa78d) on the same traces with the same event budgets;
+the baseline code no longer exists in-tree, so they are recorded below
+and rescaled by the calibration microbenchmark when compared on a
+different machine.
+
+Under pytest the module doubles as the CI perf gate: anchors assert the
+discrete path stays ahead of the (calibration-scaled) baseline and that
+hybrid mode keeps its speedup and its fidelity; if a committed
+``BENCH_sim_speed.json`` is present, a >20% events/sec regression
+against it fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import SchedulerConfig, default_config
+from repro.core.server import LoongServeServer
+from repro.types import Request
+from repro.workloads.datasets import MIXED
+from repro.workloads.trace_gen import clone_requests, make_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_sim_speed.json"
+
+# Events/sec of the seed-commit simulator, fixed event budget, measured
+# on the machine whose calibration score is recorded alongside.
+BASELINE = {
+    "commit": "53aa78d",
+    "calibration_score": 22.11,
+    "mixed_10k_events_per_sec": 2544.4,
+    "mixed_100k_events_per_sec": 2405.9,
+    "steady_10k_events_per_sec": 11367.0,
+}
+
+# Event budgets for the fixed-work events/sec scenarios (matching the
+# budgets the baseline numbers above were measured with).
+MIXED_BUDGETS = {10_000: 300_000, 100_000: 300_000}
+GATE_TRACE_REQUESTS = 2_000
+GATE_EVENT_BUDGET = 50_000
+# Steady scales past this run discrete under an event budget and
+# extrapolate the full wall time (events per request is constant in
+# steady state — the smaller scales, run in full, validate the ratio).
+FULL_DISCRETE_LIMIT = 100_000
+DISCRETE_PREFIX_BUDGET = 2_000_000
+
+
+def calibration_score() -> float:
+    """Machine-speed proxy: a fixed pure-Python loop, in M-iterations/s.
+
+    The simulator hot path is pure Python, so scaling recorded
+    events/sec by the ratio of calibration scores transfers thresholds
+    across machines to first order.
+    """
+    n = 2_000_000
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        acc += i & 7
+    dt = time.perf_counter() - t0
+    assert acc >= 0
+    return round(n / dt / 1e6, 2)
+
+
+def mixed_trace(num_requests: int) -> list[Request]:
+    return make_trace(MIXED, rate=4.0, num_requests=num_requests, seed=7)
+
+
+def steady_trace(num_requests: int) -> list[Request]:
+    """Clusters of 48 uniform requests every 8 s: the system keeps up,
+    so decode runs in long steady stretches — hybrid mode's home turf.
+    The 1024-token outputs keep decode (the part hybrid collapses)
+    dominant, as in any long-generation steady workload."""
+    return [
+        Request(
+            request_id=i,
+            input_len=512,
+            output_len=1024,
+            arrival_time=(i // 48) * 8.0,
+        )
+        for i in range(num_requests)
+    ]
+
+
+def run_once(
+    mode: str, trace: list[Request], max_events: int | None = None
+) -> dict:
+    """Serve ``trace`` once; returns timing plus fidelity aggregates.
+
+    The trace is cloned first — ``Request`` objects are mutable run
+    state, so back-to-back mode comparisons need fresh copies.
+    """
+    config = default_config(scheduler=SchedulerConfig(sim_mode=mode))
+    server = LoongServeServer(config)
+    trace = clone_requests(trace)
+    t0 = time.perf_counter()
+    result = server.run(trace, max_events=max_events)
+    wall = time.perf_counter() - t0
+    finished = [r for r in result.requests if r.finished]
+    out = {
+        "mode": mode,
+        "num_requests": len(trace),
+        "events": server.sim.events_processed,
+        "wall_s": round(wall, 3),
+        "events_per_sec": round(server.sim.events_processed / wall, 1),
+        "makespan": round(result.makespan, 3),
+        "finished": len(finished),
+        "generated_tokens": sum(r.generated for r in finished),
+    }
+    if max_events is not None:
+        out["event_budget"] = max_events
+    if server._fluid is not None:
+        out["fluid_windows"] = server._fluid.windows
+        out["fluid_iterations_absorbed"] = server._fluid.iterations_absorbed
+    return out
+
+
+def run_forked(fn) -> dict:
+    """Run ``fn`` in a forked child; adds the child's true peak RSS."""
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        os.close(read_fd)
+        status = 1
+        try:
+            out = fn()
+            out["peak_rss_mb"] = round(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+            )
+            os.write(write_fd, json.dumps(out).encode())
+            status = 0
+        finally:
+            os.close(write_fd)
+            os._exit(status)
+    os.close(write_fd)
+    chunks = []
+    while True:
+        chunk = os.read(read_fd, 1 << 16)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    os.close(read_fd)
+    _, exit_status = os.waitpid(pid, 0)
+    if exit_status != 0 or not chunks:
+        raise RuntimeError(f"benchmark child failed (status {exit_status})")
+    return json.loads(b"".join(chunks))
+
+
+def scaled_baseline(key: str, calibration: float) -> float | None:
+    """A recorded baseline number rescaled to this machine's speed."""
+    recorded = BASELINE.get(key)
+    reference = BASELINE.get("calibration_score")
+    if recorded is None or reference is None:
+        return None
+    return recorded * (calibration / reference)
+
+
+# -- pytest anchors (CI smoke + perf gate) ---------------------------------
+
+
+def test_bench_discrete_beats_baseline(benchmark, bench_scale):
+    """Optimised discrete events/sec clears the baseline by a wide margin."""
+    trace = mixed_trace(2_000)
+    out = benchmark.pedantic(
+        lambda: run_once("discrete", trace, max_events=30_000),
+        rounds=1, iterations=1,
+    )
+    calibration = calibration_score()
+    benchmark.extra_info.update(out, calibration=calibration)
+    floor = scaled_baseline("mixed_10k_events_per_sec", calibration)
+    if floor is not None:
+        # Committed JSON demonstrates the full >=5x on the 100k trace;
+        # the CI anchor asserts 3x on a small prefix to absorb noise and
+        # trace-phase differences.
+        assert out["events_per_sec"] >= 3.0 * floor, (
+            f"discrete {out['events_per_sec']:.0f} ev/s under 3x the "
+            f"calibration-scaled baseline {floor:.0f} ev/s"
+        )
+
+
+def test_bench_hybrid_speedup_and_fidelity(benchmark, bench_scale):
+    """Hybrid collapses events by >=10x and matches discrete aggregates."""
+    trace = steady_trace(2_000)
+    discrete = run_once("discrete", trace)
+    hybrid = benchmark.pedantic(
+        lambda: run_once("hybrid", trace), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        discrete_events=discrete["events"], hybrid_events=hybrid["events"],
+        discrete_wall=discrete["wall_s"], hybrid_wall=hybrid["wall_s"],
+    )
+    assert hybrid["generated_tokens"] == discrete["generated_tokens"]
+    assert hybrid["finished"] == discrete["finished"]
+    assert abs(hybrid["makespan"] - discrete["makespan"]) <= 0.02 * discrete["makespan"]
+    assert discrete["events"] >= 10 * hybrid["events"]
+    assert hybrid["wall_s"] < discrete["wall_s"]
+
+
+def test_bench_no_regression_vs_committed(benchmark):
+    """Perf gate: >20% events/sec regression vs BENCH_sim_speed.json fails."""
+    if not RESULT_PATH.exists():
+        pytest.skip("no committed BENCH_sim_speed.json to gate against")
+    committed = json.loads(RESULT_PATH.read_text())
+    gate = committed.get("gate")
+    if gate is None:
+        pytest.skip("committed BENCH_sim_speed.json has no gate section")
+    trace = mixed_trace(gate["num_requests"])
+    out = benchmark.pedantic(
+        lambda: run_once("discrete", trace, max_events=gate["event_budget"]),
+        rounds=1, iterations=1,
+    )
+    calibration = calibration_score()
+    expected = gate["events_per_sec"] * (calibration / gate["calibration_score"])
+    benchmark.extra_info.update(out, calibration=calibration, expected=expected)
+    assert out["events_per_sec"] >= 0.8 * expected, (
+        f"discrete {out['events_per_sec']:.0f} ev/s is >20% below the "
+        f"committed gate ({gate['events_per_sec']:.0f} ev/s at calibration "
+        f"{gate['calibration_score']}, scaled to {expected:.0f} here)"
+    )
+
+
+# -- script entry point ----------------------------------------------------
+
+
+def generate(quick: bool, steady_scales: list[int]) -> dict:
+    calibration = calibration_score()
+    report: dict = {
+        "calibration_score": calibration,
+        "baseline": dict(BASELINE),
+        "events_per_sec": {},
+        "hybrid": {},
+    }
+
+    mixed_scales = [2_000] if quick else [10_000, 100_000]
+    for n in mixed_scales:
+        name = f"mixed_{n // 1000}k"
+        budget = 30_000 if quick else MIXED_BUDGETS[n]
+        print(f"[bench] discrete events/sec on {name} (budget {budget}) ...")
+        out = run_forked(lambda n=n, budget=budget: run_once(
+            "discrete", mixed_trace(n), max_events=budget))
+        floor = scaled_baseline(f"{name}_events_per_sec", calibration)
+        if floor is not None:
+            out["baseline_events_per_sec_scaled"] = round(floor, 1)
+            out["speedup_vs_baseline"] = round(out["events_per_sec"] / floor, 2)
+        report["events_per_sec"][name] = out
+        print(f"[bench]   {out['events_per_sec']} ev/s "
+              f"(x{out.get('speedup_vs_baseline', '?')} vs baseline)")
+
+    events_per_request = None
+    for n in sorted(steady_scales):
+        name = f"steady_{n // 1000}k" if n < 1_000_000 else f"steady_{n // 1_000_000}m"
+        entry = {}
+        print(f"[bench] hybrid full run on {name} ...")
+        entry["hybrid"] = run_forked(lambda n=n: run_once("hybrid", steady_trace(n)))
+        print(f"[bench]   wall {entry['hybrid']['wall_s']}s, "
+              f"{entry['hybrid']['events']} events, "
+              f"rss {entry['hybrid']['peak_rss_mb']} MB")
+        if n <= FULL_DISCRETE_LIMIT or events_per_request is None:
+            print(f"[bench] discrete full run on {name} ...")
+            out = run_forked(lambda n=n: run_once("discrete", steady_trace(n)))
+            events_per_request = out["events"] / out["finished"]
+        else:
+            print(f"[bench] discrete prefix run on {name} "
+                  f"(budget {DISCRETE_PREFIX_BUDGET}) ...")
+            out = run_forked(lambda n=n: run_once(
+                "discrete", steady_trace(n), max_events=DISCRETE_PREFIX_BUDGET))
+            estimated_events = int(events_per_request * n)
+            out["events_extrapolated"] = estimated_events
+            out["wall_s_extrapolated"] = round(
+                estimated_events / out["events_per_sec"], 1
+            )
+            out["extrapolation_basis"] = (
+                f"{events_per_request:.1f} events/request from the largest "
+                f"fully-run scale; wall at measured events/sec"
+            )
+        entry["discrete"] = out
+        print(f"[bench]   wall {out.get('wall_s_extrapolated', out['wall_s'])}s"
+              f"{' (extrapolated)' if 'wall_s_extrapolated' in out else ''}, "
+              f"rss {out['peak_rss_mb']} MB")
+        discrete_wall = out.get("wall_s_extrapolated", out["wall_s"])
+        discrete_events = out.get("events_extrapolated", out["events"])
+        entry["wall_speedup_hybrid_vs_discrete"] = round(
+            discrete_wall / entry["hybrid"]["wall_s"], 2
+        )
+        entry["event_reduction"] = round(
+            discrete_events / entry["hybrid"]["events"], 1
+        )
+        base_eps = scaled_baseline("steady_10k_events_per_sec", calibration)
+        if base_eps is not None:
+            # The baseline replays the identical event sequence as the
+            # (bit-identical) optimised discrete path, so its end-to-end
+            # wall time extrapolates exactly from its measured rate.
+            base_wall = discrete_events / base_eps
+            entry["baseline_wall_s_extrapolated"] = round(base_wall, 1)
+            entry["wall_speedup_hybrid_vs_baseline"] = round(
+                base_wall / entry["hybrid"]["wall_s"], 1
+            )
+        if "wall_s_extrapolated" not in out:
+            drift = abs(entry["hybrid"]["makespan"] - out["makespan"])
+            entry["makespan_drift"] = round(drift / out["makespan"], 4)
+        report["hybrid"][name] = entry
+
+    print(f"[bench] gate reference (mixed_{GATE_TRACE_REQUESTS}, "
+          f"budget {GATE_EVENT_BUDGET}) ...")
+    gate = run_forked(
+        lambda: run_once(
+            "discrete", mixed_trace(GATE_TRACE_REQUESTS),
+            max_events=GATE_EVENT_BUDGET,
+        )
+    )
+    gate["calibration_score"] = calibration
+    report["gate"] = gate
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small scales for a fast smoke run")
+    parser.add_argument("--out", type=Path, default=RESULT_PATH)
+    parser.add_argument(
+        "--steady-scales", default=None,
+        help="comma-separated steady-trace sizes (default quick: 2000; "
+             "full: 10000,100000,1000000)",
+    )
+    args = parser.parse_args(argv)
+    if args.steady_scales is not None:
+        scales = [int(s) for s in args.steady_scales.split(",") if s]
+    else:
+        scales = [2_000] if args.quick else [10_000, 100_000, 1_000_000]
+    report = generate(args.quick, scales)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,18 @@ class SchedulerConfig:
     prefix cache (``repro.sessions``) so multi-turn follow-ups prefill
     only their uncached suffix.  Off by default: single-turn behaviour is
     bit-identical with the cache disabled.
+
+    ``max_cached_tokens`` — KV-slot budget for the prefix cache; inserts
+    beyond it LRU-evict cold extents so cached history can never starve
+    live request KV.  ``None`` (default) leaves the cache unbounded,
+    preserving prior behaviour.
+
+    ``sim_mode`` — ``"discrete"`` (default) fires one event per decode
+    iteration and is the bit-identical reference; ``"hybrid"`` lets
+    steady-state decode stretches advance in closed form via the fluid
+    approximation (``repro.sim.fluid``), falling back to discrete events
+    on any transient.  Aggregate metrics agree within tolerance but
+    per-event traces differ — golden-signature gates require discrete.
     """
 
     decode_compute_bound_bs: int = 128
@@ -47,8 +59,16 @@ class SchedulerConfig:
     enable_scale_down: bool = True
     enable_multi_master: bool = True
     enable_prefix_cache: bool = False
+    max_cached_tokens: int | None = None
     sib_refresh_interval: int = 512
     scheduling_overhead_s: float = 0.0005
+    sim_mode: str = "discrete"
+
+    def __post_init__(self) -> None:
+        if self.sim_mode not in ("discrete", "hybrid"):
+            raise ValueError(
+                f"sim_mode must be 'discrete' or 'hybrid', got {self.sim_mode!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ def next_batch_id() -> int:
     return next(_batch_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefillTask:
     """One scheduled prefill iteration."""
 
@@ -45,7 +45,7 @@ class PrefillTask:
         return self.group.dop
 
 
-@dataclass
+@dataclass(slots=True)
 class DecodeBatch:
     """A decoding batch bound to an ESP parallel group."""
 

@@ -111,16 +111,25 @@ def plan_batches(
     if not strategies:
         raise ValueError("analytical model has no fitted strategies for this TP degree")
 
+    # Hoisted (α, β, γ) per DoP: the DP calls batch_time O(n²m²) times,
+    # and the attribute/method hops of predict_sums dominated the fill.
+    # The expression below is predict_sums' own, same float-op order, so
+    # the table values are bit-identical.
+    coeffs: dict[int, tuple[float, float, float]] = {}
+    for sp, strategy in strategies.items():
+        fitted = predictor.coefficients(strategy)
+        coeffs[sp] = (fitted.alpha, fitted.beta, fitted.gamma)
+
     def batch_time(j: int, i: int, l: int, k: int) -> float:
         """T(R[j+1..i], E[l+1..k]); inf when infeasible."""
-        strategy = strategies.get(k - l)
-        if strategy is None:
+        abc = coeffs.get(k - l)
+        if abc is None:
             return math.inf
         if need[i] - need[j] > slots[k] - slots[l]:
             return math.inf
         total = length_sum[i] - length_sum[j]
         total_sq = length_sq_sum[i] - length_sq_sum[j]
-        return predictor.predict_sums(strategy, total, total_sq)
+        return abc[0] + abc[1] * total + abc[2] * total_sq
 
     # Small tables are solved exhaustively (exact and still fast); the
     # monotone pruning only engages where the O(n^2 m^2) cost would bite.
@@ -178,10 +187,10 @@ def _fill_tables(n: int, m: int, batch_time, optimized: bool) -> _Tables:
                 row = f[j]
                 for l in range(l_lo, k):
                     base = row[l]
-                    if math.isinf(base):
+                    if base == inf:
                         continue
                     t = batch_time(j, i, l, k)
-                    if math.isinf(t):
+                    if t == inf:
                         continue
                     candidate = base + (i - j) * t
                     if candidate < best:

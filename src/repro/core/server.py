@@ -23,6 +23,7 @@ from repro.qos.classes import resolve_qos_class
 from repro.qos.policy import QoSPolicy
 from repro.sessions.prefix_cache import PrefixKVCache
 from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidStepper
 from repro.sim.trace import TraceRecorder
 from repro.types import (
     BatchStats,
@@ -75,7 +76,10 @@ class LoongServeServer:
             for i in range(config.num_instances)
         }
         self.prefix_cache: PrefixKVCache | None = (
-            PrefixKVCache(self.pool)
+            PrefixKVCache(
+                self.pool,
+                max_cached_tokens=config.scheduler.max_cached_tokens,
+            )
             if config.scheduler.enable_prefix_cache
             else None
         )
@@ -89,6 +93,22 @@ class LoongServeServer:
         self._decode_latency_count = 0
         self._tick_pending = False
         self._all_requests: list[Request] = []
+        # Hot-path caches: request ids already proven to fit the cluster
+        # (capacity is fixed, so the per-tick feasibility scan memoises),
+        # and the requests currently in the PREFILLING state (maintained
+        # incrementally so a tick never scans ``_all_requests``, which
+        # grows with the whole trace).
+        self._fits_capacity: set[int] = set()
+        self._unvetted: list[Request] = []
+        self._prefilling: dict[int, Request] = {}
+        # Hybrid fluid-flow mode (repro.sim.fluid): steady-state decode
+        # stretches advance in closed form.  None in the default
+        # "discrete" mode keeps that path bit-identical.
+        self._fluid = (
+            FluidStepper(self)
+            if config.scheduler.sim_mode == "hybrid"
+            else None
+        )
         self.qos_ledger: QoSLedger | None = (
             QoSLedger() if self.qos is not None else None
         )
@@ -98,17 +118,40 @@ class LoongServeServer:
 
     # -- public API -----------------------------------------------------------
 
-    def run(self, requests: list[Request]) -> ServeResult:
-        """Serve a trace to completion and return per-request outcomes."""
+    def run(
+        self, requests: list[Request], max_events: int | None = None
+    ) -> ServeResult:
+        """Serve a trace to completion and return per-request outcomes.
+
+        ``max_events`` bounds the number of simulator events processed —
+        benchmarks use it to time a fixed-work prefix of a large trace;
+        the partial result still reports whatever finished by the cut.
+        """
         self._reset()
         self._all_requests = list(requests)
-        for request in requests:
-            self.sim.call_at(
-                request.arrival_time,
-                self._make_arrival(request),
-                label=f"arrival:{request.request_id}",
-            )
-        self.sim.run_until_idle()
+        # Consecutive requests sharing a timestamp arrive as one event.
+        # Behaviour is identical to per-request events — same pending
+        # order, and the coalesced tick already ran once per timestamp —
+        # but batched front-end traces (many arrivals per tick) stop
+        # paying the event machinery per request.
+        idx = 0
+        total = len(requests)
+        while idx < total:
+            time = requests[idx].arrival_time
+            end = idx + 1
+            while end < total and requests[end].arrival_time == time:
+                end += 1
+            if end - idx == 1:
+                self.sim.call_at(time, self._make_arrival(requests[idx]), label="arrival")
+            else:
+                self.sim.call_at(
+                    time, self._make_group_arrival(requests[idx:end]), label="arrival"
+                )
+            idx = end
+        if max_events is None:
+            self.sim.run_until_idle()
+        else:
+            self.sim.run(max_events=max_events)
         return self._collect_result()
 
     def run_driven(self, driver) -> ServeResult:
@@ -153,6 +196,7 @@ class LoongServeServer:
         """External enqueue from a dispatcher (e.g. a fleet router)."""
         self._all_requests.append(request)
         self.pending.append(request)
+        self._unvetted.append(request)
         self.trace.record(self.sim.now, "arrival", request=request.request_id)
         self._request_tick()
 
@@ -178,6 +222,7 @@ class LoongServeServer:
             self.trace.record(self.sim.now, "crash_orphan", request=request.request_id)
         self._epoch += 1
         self._tick_pending = False
+        self._prefilling.clear()
         config = self.config
         self.pool = UnifiedKVPool.create(
             num_instances=config.num_instances,
@@ -189,9 +234,12 @@ class LoongServeServer:
         }
         if self.prefix_cache is not None:
             self.prefix_cache = PrefixKVCache(
-                self.pool, stats=self.prefix_cache.stats
+                self.pool,
+                stats=self.prefix_cache.stats,
+                max_cached_tokens=self.prefix_cache.max_cached_tokens,
             )
         self.pending = []
+        self._unvetted.clear()
         self.decode_batches = []
         return orphans, lost_tokens
 
@@ -200,10 +248,25 @@ class LoongServeServer:
     def _make_arrival(self, request: Request):
         def _on_arrival() -> None:
             self.pending.append(request)
+            self._unvetted.append(request)
             self.trace.record(self.sim.now, "arrival", request=request.request_id)
             self._request_tick()
 
         return _on_arrival
+
+    def _make_group_arrival(self, group: list[Request]):
+        def _on_group_arrival() -> None:
+            now = self.sim.now
+            pending = self.pending
+            unvetted = self._unvetted
+            record = self.trace.record
+            for request in group:
+                pending.append(request)
+                unvetted.append(request)
+                record(now, "arrival", request=request.request_id)
+            self._request_tick()
+
+        return _on_group_arrival
 
     def _guarded(self, action):
         """Wrap a scheduled callback so it dies with the current epoch.
@@ -243,9 +306,7 @@ class LoongServeServer:
             self._qos_preempt_for_deadlines()
             now = self.sim.now
             self.pending.sort(key=lambda r: self.qos.dispatch_key(r, now))
-        prefilling = [
-            r for r in self._all_requests if r.state == RequestState.PREFILLING
-        ]
+        prefilling = list(self._prefilling.values())
         plan = self.manager.schedule(
             now=self.sim.now,
             pending=self.pending,
@@ -259,19 +320,34 @@ class LoongServeServer:
         self._start_decode_iterations()
 
     def _drop_impossible_requests(self) -> None:
-        """Abort requests that could never fit even on an empty cluster."""
+        """Abort requests that could never fit even on an empty cluster.
+
+        Cluster capacity is fixed for the life of a run, so only the
+        arrivals since the last tick (``_unvetted``) need checking:
+        queue residents were vetted on a prior tick, and preemption
+        re-queues only requests that were already scheduled once (which
+        implies a past vet).  The common case is an O(new arrivals)
+        no-op rather than an O(queue) rebuild — on a backlogged
+        million-request trace that rebuild dominated the whole run.
+        """
+        if not self._unvetted:
+            return
         capacity = self.pool.total_capacity
-        keep = []
-        for request in self.pending:
+        fits = self._fits_capacity
+        dropped = False
+        for request in self._unvetted:
             if request.max_total_len + 1 > capacity:
                 self._abort_request(request)
                 self.trace.record(
                     self.sim.now, "abort", request=request.request_id,
                     needed=request.max_total_len, capacity=capacity,
                 )
+                dropped = True
             else:
-                keep.append(request)
-        self.pending = keep
+                fits.add(request.request_id)
+        self._unvetted.clear()
+        if dropped:
+            self.pending = [r for r in self.pending if r.request_id in fits]
 
     def _abort_request(self, request: Request) -> None:
         """Terminal-abort a queued request (impossible or QoS-rejected)."""
@@ -302,11 +378,7 @@ class LoongServeServer:
     def _qos_backlog_tokens(self) -> int:
         """Prefill tokens committed ahead of any new arrival: in-flight
         prefills plus the already-admitted queue."""
-        inflight = sum(
-            r.prefill_tokens
-            for r in self._all_requests
-            if r.state == RequestState.PREFILLING
-        )
+        inflight = sum(r.prefill_tokens for r in self._prefilling.values())
         queued = sum(
             r.prefill_tokens for r in self.pending if r.deadline is not None
         )
@@ -512,6 +584,7 @@ class LoongServeServer:
 
         for request in task.requests:
             request.state = RequestState.PREFILLING
+            self._prefilling[request.request_id] = request
             if request.prefill_start is None:
                 request.prefill_start = self.sim.now
             self.pool.place(
@@ -555,7 +628,7 @@ class LoongServeServer:
         self.sim.call_after(
             planned.start_delay + duration,
             self._guarded(lambda: self._on_prefill_done(planned)),
-            label=f"prefill_done:{task.batch_id}",
+            label="prefill_done",
         )
 
     def _on_prefill_done(self, planned: PlannedPrefill) -> None:
@@ -563,6 +636,7 @@ class LoongServeServer:
         now = self.sim.now
         survivors: list[Request] = []
         for request in task.requests:
+            self._prefilling.pop(request.request_id, None)
             request.generated += 1  # the prefill emits the first output token
             request.prefill_end = now
             request.record_first_token(now)
@@ -659,6 +733,8 @@ class LoongServeServer:
     # -- decode execution -------------------------------------------------------
 
     def _start_decode_iterations(self) -> None:
+        if self._fluid is not None and self._fluid.try_window():
+            return  # fluid window scheduled (or holding for quiescence)
         for batch in list(self.decode_batches):
             if batch.running or batch.group is None:
                 continue
@@ -700,7 +776,7 @@ class LoongServeServer:
         self.sim.call_after(
             duration,
             self._guarded(lambda: self._on_decode_done(batch, masters)),
-            label=f"decode_done:{batch.batch_id}",
+            label="decode_done",
         )
 
     def _ensure_decode_memory(self, batch: DecodeBatch) -> tuple[int, ...] | None:

@@ -36,13 +36,21 @@ class AnalyticalModel:
     which prefix sums provide in O(1) per interval.
     """
 
+    # Prediction cache cap: the planner re-asks the same (strategy,
+    # request-set) keys many times per tick (allocation's grow loop and
+    # dispatching's co-opt scan), but distinct keys are bounded by the
+    # trace, so a generous cap only guards pathological runs.
+    _CACHE_MAX = 100_000
+
     def __init__(self) -> None:
         self._coefficients: dict[ParallelismStrategy, StrategyCoefficients] = {}
+        self._predict_cache: dict[tuple, float] = {}
 
     def set_coefficients(
         self, strategy: ParallelismStrategy, coefficients: StrategyCoefficients
     ) -> None:
         self._coefficients[strategy] = coefficients
+        self._predict_cache.clear()
 
     def coefficients(self, strategy: ParallelismStrategy) -> StrategyCoefficients:
         try:
@@ -62,10 +70,24 @@ class AnalyticalModel:
     def predict(
         self, strategy: ParallelismStrategy, input_lens: Sequence[int]
     ) -> float:
-        """Predicted prefill iteration time for a request set."""
+        """Predicted prefill iteration time for a request set.
+
+        Memoised on the exact ``(strategy, input_lens)`` key — the cached
+        float is the identical object the uncached path would return, so
+        replay stays bit-for-bit.  ``set_coefficients`` invalidates.
+        """
+        key = (strategy, tuple(input_lens))
+        cache = self._predict_cache
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         total = float(sum(input_lens))
         total_sq = float(sum(n * n for n in input_lens))
-        return self.coefficients(strategy).predict(total, total_sq)
+        value = self.coefficients(strategy).predict(total, total_sq)
+        if len(cache) >= self._CACHE_MAX:
+            cache.clear()
+        cache[key] = value
+        return value
 
     def predict_sums(
         self, strategy: ParallelismStrategy, total_len: float, total_len_sq: float

@@ -113,9 +113,23 @@ class RooflineCostModel:
     sp_overlap: float = 0.90
     decode_overlap: float = 0.80
 
+    # Memoised results cap — every field above is frozen, so entries
+    # never go stale; the cap only bounds memory on pathological traces.
+    _CACHE_MAX = 200_000
+
+    def __post_init__(self) -> None:
+        # The dataclass is frozen but not slotted, so instance ``__dict__``
+        # can hold derived state: one CollectiveModel for the lifetime of
+        # the model (it used to be rebuilt on every property access, which
+        # dominated the planner's call counts) and a bounded memo for the
+        # prefill/decode entry points the scheduler hammers with repeating
+        # (lens, group) keys.
+        object.__setattr__(self, "_collectives", CollectiveModel(cluster=self.cluster))
+        object.__setattr__(self, "_time_cache", {})
+
     @property
     def collectives(self) -> CollectiveModel:
-        return CollectiveModel(cluster=self.cluster)
+        return self._collectives
 
     # -- helpers -----------------------------------------------------------
 
@@ -142,8 +156,20 @@ class RooflineCostModel:
         insts = self._resolve_instances(instances)
         if not input_lens:
             return 0.0
+        # Memoised on the exact argument key: the dispatch/allocation
+        # planners re-price the same candidate (lens, group) pairs many
+        # times per tick, and a cache hit returns the identical float.
+        key = ("p", tuple(input_lens), tuple(insts), tensor_parallel)
+        cache = self._time_cache
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         chunks = [(n, 0) for n in input_lens]
-        return self.fused_iteration_time(chunks, [], insts, tensor_parallel)
+        value = self.fused_iteration_time(chunks, [], insts, tensor_parallel)
+        if len(cache) >= self._CACHE_MAX:
+            cache.clear()
+        cache[key] = value
+        return value
 
     def fused_iteration_time(
         self,
@@ -244,6 +270,14 @@ class RooflineCostModel:
         insts = self._resolve_instances(instances)
         if not context_lens:
             return 0.0
+        # Same exact-key memo as prefill_time — decode batches re-price
+        # the same (contexts, group, masters) key on every planning tick
+        # between iterations that change the contexts.
+        key = ("d", tuple(context_lens), tuple(insts), tensor_parallel, num_masters)
+        cache = self._time_cache
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         sp = max(1, len(insts))
         tp = tensor_parallel
         masters = max(1, min(num_masters, sp))
@@ -287,7 +321,11 @@ class RooflineCostModel:
             sp_comm += m.num_layers * self.layer_sync_overhead
 
         seq_overhead = self.per_seq_overhead * bs / masters
-        return roofline + tp_comm + sp_comm + seq_overhead + self.iteration_overhead
+        value = roofline + tp_comm + sp_comm + seq_overhead + self.iteration_overhead
+        if len(cache) >= self._CACHE_MAX:
+            cache.clear()
+        cache[key] = value
+        return value
 
     # -- auxiliary costs ---------------------------------------------------
 

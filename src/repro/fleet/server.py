@@ -51,6 +51,11 @@ class ReplicaHandle:
         self.replica_id = replica_id
         self.server = server
         self.routed: list[Request] = []
+        # Live subset of ``routed``: finished requests are lazily pruned
+        # the next time a probe scans, so ``outstanding_*`` cost tracks
+        # the in-flight population instead of the whole routing history
+        # (which made every control tick quadratic in trace length).
+        self._active: list[Request] = []
         # Cumulative token work ever submitted here (input + declared
         # output).  Unlike summing ``routed``, the counter is O(1) to
         # read and stable across crashes (orphans are pruned from the
@@ -101,6 +106,7 @@ class ReplicaHandle:
             reset()
         self.server.use_simulator(sim)
         self.routed = []
+        self._active = []
         self.routed_tokens = 0
         self.stolen_in = 0
         self.stolen_out = 0
@@ -112,6 +118,7 @@ class ReplicaHandle:
 
     def submit(self, request: Request) -> None:
         self.routed.append(request)
+        self._active.append(request)
         self.routed_tokens += request.input_len + request.output_len
         self.server.submit(request)
 
@@ -151,6 +158,7 @@ class ReplicaHandle:
         orphans, lost_tokens = server_crash()
         orphan_ids = {r.request_id for r in orphans}
         self.routed = [r for r in self.routed if r.request_id not in orphan_ids]
+        self._active = []  # every unfinished resident is an orphan now
         self.online = False
         self.draining = False
         self.crashed = True
@@ -181,11 +189,15 @@ class ReplicaHandle:
 
     def outstanding_requests(self) -> int:
         """Routed requests not yet finished (aborts count as finished)."""
-        return sum(1 for r in self.routed if not r.finished)
+        active = [r for r in self._active if not r.finished]
+        self._active = active
+        return len(active)
 
     def outstanding_tokens(self) -> int:
         """Token-weighted outstanding work (queued + resident lengths)."""
-        return sum(r.current_len for r in self.routed if not r.finished)
+        active = [r for r in self._active if not r.finished]
+        self._active = active
+        return sum(r.current_len for r in active)
 
     def _resolve_kv_sources(self) -> list[tuple[int, object]]:
         """Shape dispatch: (key, pool) pairs exposing ``free``/``capacity``."""
@@ -302,6 +314,12 @@ class ReplicaHandle:
                 tracked = getattr(owner, "_all_requests", None)
                 if tracked is not None and request in tracked:
                     tracked.remove(request)
+                # If it was withdrawn before its first tick even vetted
+                # it, the capacity check must not fire here — the new
+                # owner vets it on its own queue.
+                unvetted = getattr(self.server, "_unvetted", None)
+                if unvetted is not None and request in unvetted:
+                    unvetted.remove(request)
                 cache = getattr(self.server, "prefix_cache", None)
                 if cache is not None:
                     cache.release(request.request_id)
@@ -309,6 +327,8 @@ class ReplicaHandle:
                 if request in self.routed:
                     self.routed.remove(request)
                     self.routed_tokens -= request.input_len + request.output_len
+                if request in self._active:
+                    self._active.remove(request)
                 self.stolen_out += 1
                 return True
         return False

@@ -27,7 +27,7 @@ from repro.kvcache.unified import UnifiedKVPool
 from repro.model.spec import ModelSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigrationStep:
     """Move ``num_tokens`` of one request from ``src`` to ``dst``."""
 
@@ -37,7 +37,7 @@ class MigrationStep:
     num_tokens: int
 
 
-@dataclass
+@dataclass(slots=True)
 class MigrationPlan:
     """An ordered set of migration steps plus the modelled time cost."""
 
@@ -71,7 +71,7 @@ class MigrationPlan:
         return max(per_src.values(), default=0.0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefixHandoff:
     """One cross-replica migration of a cached prefix extent.
 

@@ -16,7 +16,7 @@ class PoolExhaustedError(RuntimeError):
     """Raised when an allocation exceeds the instance's free slots."""
 
 
-@dataclass
+@dataclass(slots=True)
 class InstancePool:
     """Token-granularity KV slot pool of one elastic instance."""
 

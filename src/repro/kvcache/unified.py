@@ -18,7 +18,7 @@ from repro.kvcache.pool import InstancePool, PoolExhaustedError
 Placement = dict[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class UnifiedKVPool:
     """Global view over every elastic instance's KV slots."""
 

@@ -29,6 +29,16 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next live scheduled event (None when idle).
+
+        The fluid stepper bounds its closed-form stretches with this:
+        every transient it must not skip over — an arrival, a control
+        tick, a fault, another batch's completion — is an already-queued
+        event, so stopping at the horizon is conservative.
+        """
+        return self._queue.peek_time()
+
     def call_at(
         self,
         time: float,
@@ -60,17 +70,25 @@ class Simulator:
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events until the queue drains, ``until`` passes, or
-        ``max_events`` fire.  Returns the final clock value."""
+        ``max_events`` fire.  Returns the final clock value.
+
+        ``peek_time`` skips lazily-cancelled heads, so the ``until``
+        comparison only ever sees live events: a dead timer beyond the
+        bound can neither leave phantom work in the queue nor make the
+        loop break on a timestamp that will never fire.
+        """
         self._stopped = False
         processed = 0
-        while self._queue and not self._stopped:
-            next_time = self._queue.peek_time()
-            assert next_time is not None
+        queue = self._queue
+        while not self._stopped:
+            next_time = queue.peek_time()
+            if next_time is None:
+                break
             if until is not None and next_time > until:
                 self._now = until
                 break
-            event = self._queue.pop()
-            if getattr(event, "_cancelled", False):
+            event = queue.pop()
+            if event.cancelled:
                 # Cancelled timers are lazily discarded: they neither run
                 # nor consume the caller's event budget, so a timer-heavy
                 # trace cannot exhaust ``run_until_idle`` on no-ops.
@@ -81,7 +99,7 @@ class Simulator:
             processed += 1
             if max_events is not None and processed >= max_events:
                 break
-        if until is not None and not self._queue and self._now < until:
+        if until is not None and self._now < until and queue.peek_time() is None:
             self._now = until
         return self._now
 

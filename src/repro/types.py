@@ -46,7 +46,7 @@ def next_request_id() -> int:
     return next(_request_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A single inference request.
 
@@ -210,7 +210,7 @@ class Request:
         return self.decode_latency / self.output_len
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchStats:
     """Summary of one executed iteration, used for accounting and traces."""
 
@@ -223,7 +223,7 @@ class BatchStats:
     start_time: float
 
 
-@dataclass
+@dataclass(slots=True)
 class ScalingEvent:
     """A recorded elastic scaling action (for the Figure 13 frequency plot)."""
 

@@ -159,11 +159,15 @@ class TestReplicaHandle:
     def test_outstanding_tracks_routed_lifecycle(self):
         handle = ReplicaHandle(0, make_system("loongserve"))
         request = make_request(input_len=100, output_len=4)
-        handle.routed.append(request)
+        handle.submit(request)
         assert handle.outstanding_requests() == 1
         assert handle.outstanding_tokens() == request.current_len
         request.state = RequestState.FINISHED
         assert handle.outstanding_requests() == 0
+        # The live set lazily pruned the finished request; the routed
+        # ledger (the fleet's result surface) still remembers it.
+        assert handle._active == []
+        assert handle.routed == [request]
 
 
 class TestFleetServer:

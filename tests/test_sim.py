@@ -74,6 +74,36 @@ class TestSimulator:
         sim.run(until=10.0)
         assert sim.now == 10.0
 
+    def test_run_until_skips_cancelled_head(self):
+        # Regression: a lazily-cancelled timer at the head of the queue
+        # used to make ``run(until=...)`` break on its (dead) timestamp,
+        # leaving the clock short and phantom work in the queue.
+        sim = Simulator()
+        timer = sim.call_at(7.0, lambda: pytest.fail("cancelled timer ran"))
+        timer.cancel()
+        sim.run(until=6.0)
+        assert sim.now == 6.0
+        assert sim.next_event_time() is None
+
+    def test_run_until_cancelled_head_before_live_event(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.call_at(1.0, lambda: seen.append("dead"))
+        sim.call_at(2.0, lambda: seen.append("live"))
+        timer.cancel()
+        sim.run(until=5.0)
+        assert seen == ["live"]
+        assert sim.now == 5.0
+
+    def test_next_event_time(self):
+        sim = Simulator()
+        assert sim.next_event_time() is None
+        timer = sim.call_at(4.0, lambda: None)
+        sim.call_at(9.0, lambda: None)
+        assert sim.next_event_time() == 4.0
+        timer.cancel()
+        assert sim.next_event_time() == 9.0
+
     def test_stop_exits_loop(self):
         sim = Simulator()
         seen = []

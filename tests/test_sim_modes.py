@@ -1,0 +1,254 @@
+"""Simulation modes: the optimised discrete path stays bit-identical and
+hybrid fluid mode tracks it within tolerance.
+
+The golden-signature gates themselves live with their subsystems
+(``test_elastic_fleet.TestStaticGate``, ``test_faults``, ``test_qos``);
+this module covers the mode switch, the arrival-grouping fast path, the
+fluid stepper's closed-form algebra, and the hybrid-vs-discrete
+aggregate tolerances on the seeded Mixed / sessions / QoS traces.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SchedulerConfig, default_config
+from repro.core.server import LoongServeServer
+from repro.qos import QoSPolicy
+from repro.sessions import make_session_trace
+from repro.sim.fluid import FluidStepper, _max_iterations_within, _stretch_time
+from repro.types import Request
+from repro.workloads.datasets import MIXED
+from repro.workloads.trace_gen import clone_requests, make_trace
+
+
+def _signature(requests):
+    signature = sorted(
+        (r.input_len, r.output_len, round(r.arrival_time, 9),
+         round(r.prefill_end, 9), round(r.first_token_time, 9),
+         round(r.finish_time, 9), r.preemptions)
+        for r in requests if r.finished
+    )
+    return hashlib.md5(repr(signature).encode()).hexdigest()
+
+
+def _run(mode: str, trace, qos: bool = False):
+    config = default_config(scheduler=SchedulerConfig(sim_mode=mode))
+    server = LoongServeServer(config)
+    if qos:
+        server.qos = QoSPolicy.for_config(config, server.cost_model)
+    result = server.run(clone_requests(trace))
+    return result, server
+
+
+def _steady_trace(num_requests=600, cluster=48, interval=8.0, output_len=300):
+    return [
+        Request(request_id=i, input_len=512, output_len=output_len,
+                arrival_time=(i // cluster) * interval)
+        for i in range(num_requests)
+    ]
+
+
+class TestModeSwitch:
+    def test_default_is_discrete_with_no_stepper(self):
+        assert SchedulerConfig().sim_mode == "discrete"
+        server = LoongServeServer(default_config())
+        assert server._fluid is None
+
+    def test_hybrid_arms_the_stepper(self):
+        config = default_config(scheduler=SchedulerConfig(sim_mode="hybrid"))
+        server = LoongServeServer(config)
+        assert isinstance(server._fluid, FluidStepper)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="sim_mode"):
+            SchedulerConfig(sim_mode="continuous")
+
+    def test_explicit_discrete_matches_default_bit_for_bit(self):
+        trace = make_trace(MIXED, rate=4.0, num_requests=25, seed=7)
+        default_result, _ = _run("discrete", trace)
+        explicit = LoongServeServer(default_config())
+        explicit_result = explicit.run(clone_requests(trace))
+        assert _signature(default_result.requests) == _signature(
+            explicit_result.requests
+        )
+
+
+class TestArrivalGrouping:
+    """``run()`` coalesces same-timestamp arrivals into one event; the
+    outcome must be bit-identical to per-request arrival events."""
+
+    def _grouped_and_ungrouped(self, trace):
+        grouped_server = LoongServeServer(default_config())
+        grouped = grouped_server.run(clone_requests(trace))
+
+        ungrouped_server = LoongServeServer(default_config())
+        copies = clone_requests(trace)
+        ungrouped_server._reset()
+        ungrouped_server._all_requests = list(copies)
+        for request in copies:
+            ungrouped_server.sim.call_at(
+                request.arrival_time,
+                ungrouped_server._make_arrival(request),
+                label="arrival",
+            )
+        ungrouped_server.sim.run_until_idle()
+        ungrouped = ungrouped_server._collect_result()
+        return grouped, ungrouped, grouped_server, ungrouped_server
+
+    def test_clustered_timestamps_identical(self):
+        trace = _steady_trace(num_requests=200, cluster=25, interval=5.0,
+                              output_len=40)
+        grouped, ungrouped, gs, us = self._grouped_and_ungrouped(trace)
+        assert _signature(grouped.requests) == _signature(ungrouped.requests)
+        assert grouped.makespan == ungrouped.makespan
+        # The grouping is the whole point: fewer arrival events fired.
+        assert gs.sim.events_processed < us.sim.events_processed
+
+    def test_distinct_timestamps_identical(self):
+        trace = make_trace(MIXED, rate=4.0, num_requests=30, seed=7)
+        grouped, ungrouped, gs, us = self._grouped_and_ungrouped(trace)
+        assert _signature(grouped.requests) == _signature(ungrouped.requests)
+        # Poisson arrivals never tie, so grouping changes nothing at all.
+        assert gs.sim.events_processed == us.sim.events_processed
+
+
+class TestHybridTolerance:
+    """Hybrid is an approximation; its aggregates must stay close to the
+    discrete reference on the seeded traces the suite gates on."""
+
+    def test_steady_trace_matches_tightly(self):
+        trace = _steady_trace()
+        discrete, ds = _run("discrete", trace)
+        hybrid, hs = _run("hybrid", trace)
+        d_tokens = sum(r.generated for r in discrete.requests if r.finished)
+        h_tokens = sum(r.generated for r in hybrid.requests if r.finished)
+        assert h_tokens == d_tokens
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.02 * discrete.makespan
+        assert hs.sim.events_processed <= ds.sim.events_processed / 5
+        assert hs._fluid.windows > 0
+
+    def test_mixed_trace_within_tolerance(self):
+        trace = make_trace(MIXED, rate=4.0, num_requests=60, seed=7)
+        discrete, _ = _run("discrete", trace)
+        hybrid, _ = _run("hybrid", trace)
+        d_fin = [r for r in discrete.requests if r.finished]
+        h_fin = [r for r in hybrid.requests if r.finished]
+        assert len(h_fin) == len(d_fin)
+        assert sum(r.generated for r in h_fin) == sum(r.generated for r in d_fin)
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.15 * discrete.makespan
+        d_lat = sum(r.end_to_end_latency for r in d_fin) / len(d_fin)
+        h_lat = sum(r.end_to_end_latency for r in h_fin) / len(h_fin)
+        assert abs(h_lat - d_lat) <= 0.25 * d_lat
+
+    def test_sessions_trace_within_tolerance(self):
+        trace = make_session_trace(rate=0.8, num_sessions=10, seed=5)
+        discrete, _ = _run("discrete", trace)
+        hybrid, _ = _run("hybrid", trace)
+        d_fin = [r for r in discrete.requests if r.finished]
+        h_fin = [r for r in hybrid.requests if r.finished]
+        assert len(h_fin) == len(d_fin)
+        assert sum(r.generated for r in h_fin) == sum(r.generated for r in d_fin)
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.15 * discrete.makespan
+
+    def test_qos_trace_attainment_within_tolerance(self):
+        from repro.experiments.qos import make_qos_trace
+
+        trace = make_qos_trace(scale=0.25)
+        discrete, _ = _run("discrete", trace, qos=True)
+        hybrid, _ = _run("hybrid", trace, qos=True)
+        assert discrete.qos_stats is not None and hybrid.qos_stats is not None
+        for cls, counters in discrete.qos_stats.items():
+            submitted = counters.get("submitted", 0)
+            if submitted == 0:
+                continue
+            d_att = counters.get("attained", 0) / submitted
+            h_counters = hybrid.qos_stats.get(cls, {})
+            h_submitted = h_counters.get("submitted", 0) or 1
+            h_att = h_counters.get("attained", 0) / h_submitted
+            assert abs(h_att - d_att) <= 0.15, (
+                f"{cls}: hybrid attainment {h_att:.3f} vs discrete {d_att:.3f}"
+            )
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.15 * discrete.makespan
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        cluster=st.integers(min_value=16, max_value=64),
+        output_len=st.integers(min_value=100, max_value=500),
+        interval=st.floats(min_value=4.0, max_value=12.0),
+    )
+    def test_steady_family_tokens_exact_makespan_close(
+        self, cluster, output_len, interval
+    ):
+        trace = _steady_trace(num_requests=300, cluster=cluster,
+                              interval=interval, output_len=output_len)
+        discrete, _ = _run("discrete", trace)
+        hybrid, _ = _run("hybrid", trace)
+        d_tokens = sum(r.generated for r in discrete.requests if r.finished)
+        h_tokens = sum(r.generated for r in hybrid.requests if r.finished)
+        assert h_tokens == d_tokens
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.05 * discrete.makespan
+
+
+class TestFluidAlgebra:
+    @given(
+        k=st.integers(min_value=1, max_value=2_000),
+        d_start=st.floats(min_value=1e-4, max_value=1.0),
+        slope=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stretch_time_is_the_trapezoid_sum(self, k, d_start, slope):
+        direct = sum(d_start + slope * i for i in range(k))
+        assert _stretch_time(k, d_start, slope) == pytest.approx(direct, rel=1e-9)
+
+    @given(
+        budget=st.floats(min_value=1e-3, max_value=100.0),
+        d_start=st.floats(min_value=1e-4, max_value=0.5),
+        slope=st.floats(min_value=0.0, max_value=1e-2),
+        cap=st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_max_iterations_is_the_stretch_inverse(
+        self, budget, d_start, slope, cap
+    ):
+        k = _max_iterations_within(budget, d_start, slope, cap)
+        assert 0 <= k <= cap
+        if k >= 1:
+            assert _stretch_time(k, d_start, slope) <= budget * (1 + 1e-9)
+        if k < cap:
+            assert _stretch_time(k + 1, d_start, slope) >= budget * (1 - 1e-9)
+
+    def test_zero_budget_yields_no_iterations(self):
+        assert _max_iterations_within(0.0, 0.01, 0.0, 100) == 0
+        assert _max_iterations_within(-1.0, 0.01, 0.0, 100) == 0
+
+
+class TestFluidWindows:
+    def test_windows_absorb_most_decode_iterations(self):
+        trace = _steady_trace(num_requests=500)
+        _, ds = _run("discrete", trace)
+        _, hs = _run("hybrid", trace)
+        stepper = hs._fluid
+        assert stepper.windows > 0
+        # Most of the discrete run's events are decode iterations, and
+        # the windows soak up the bulk of them.  (The counts need not
+        # reconcile exactly: windows freeze batch membership, so hybrid
+        # runs fewer, larger batches than the discrete reference.)
+        assert stepper.iterations_absorbed >= 0.5 * ds.sim.events_processed
+        assert ds.sim.events_processed >= 5 * hs.sim.events_processed
+
+    def test_kv_fully_released_after_hybrid_run(self):
+        trace = _steady_trace(num_requests=300)
+        _, server = _run("hybrid", trace)
+        assert server.pool.total_free == server.config.total_kv_slots
+
+    def test_hybrid_never_engages_without_quiescence(self):
+        config = default_config(scheduler=SchedulerConfig(sim_mode="hybrid"))
+        server = LoongServeServer(config)
+        server._reset()
+        server.pending.append(
+            Request(request_id=0, input_len=8, output_len=8, arrival_time=0.0)
+        )
+        assert server._fluid.try_window() is False
