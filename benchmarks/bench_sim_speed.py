@@ -113,15 +113,26 @@ def steady_trace(num_requests: int) -> list[Request]:
 
 
 def run_once(
-    mode: str, trace: list[Request], max_events: int | None = None
+    mode: str,
+    trace: list[Request],
+    max_events: int | None = None,
+    observe: bool = False,
 ) -> dict:
     """Serve ``trace`` once; returns timing plus fidelity aggregates.
 
     The trace is cloned first — ``Request`` objects are mutable run
     state, so back-to-back mode comparisons need fresh copies.
+    ``observe=True`` arms the full observability stack (spans + audit
+    log + telemetry), the tracing-on side of the overhead measurement.
     """
     config = default_config(scheduler=SchedulerConfig(sim_mode=mode))
     server = LoongServeServer(config)
+    obs = None
+    if observe:
+        from repro.obs import Observability
+
+        obs = Observability()
+        server.observe(obs)
     trace = clone_requests(trace)
     t0 = time.perf_counter()
     result = server.run(trace, max_events=max_events)
@@ -142,6 +153,10 @@ def run_once(
     if server._fluid is not None:
         out["fluid_windows"] = server._fluid.windows
         out["fluid_iterations_absorbed"] = server._fluid.iterations_absorbed
+    if obs is not None:
+        out["spans"] = len(obs.tracer.spans)
+        out["audit_records"] = len(obs.tracer.records)
+        out["telemetry_samples"] = len(obs.metrics.sample_times)
     return out
 
 
@@ -226,6 +241,46 @@ def test_bench_hybrid_speedup_and_fidelity(benchmark, bench_scale):
     assert hybrid["wall_s"] < discrete["wall_s"]
 
 
+def test_bench_disabled_tracer_fast_path():
+    """A disabled tracer's guarded call site must stay near-free.
+
+    Every hot-path trace call in the simulator is written as
+    ``if trace.enabled: trace.audit(...)`` so the payload kwargs are
+    never built when tracing is off.  This micro-assert pins that
+    contract: the disabled pattern (one attribute check) must be far
+    cheaper than the enabled call (kwargs dict + record + append), and
+    must record nothing.
+    """
+    from repro.obs import Tracer
+
+    n = 100_000
+
+    def loop(tracer: Tracer) -> float:
+        t0 = time.perf_counter()
+        for i in range(n):
+            if tracer.enabled:
+                tracer.audit(0.0, "probe", component="bench", replica=1,
+                             index=i, size=i * 2)
+        return time.perf_counter() - t0
+
+    loop(Tracer(enabled=False))  # warm-up
+    loop(Tracer(enabled=True))
+    disabled = Tracer(enabled=False)
+    t_off = min(loop(disabled) for _ in range(3))
+    enabled_times = []
+    for _ in range(3):
+        enabled = Tracer(enabled=True)
+        enabled_times.append(loop(enabled))
+    t_on = min(enabled_times)
+    assert len(disabled.records) == 0 and len(disabled.spans) == 0
+    assert len(enabled.records) == n
+    # The real gap is ~20-50x; 4x absorbs CI timer noise generously.
+    assert t_off <= 0.25 * t_on, (
+        f"disabled guarded call site took {t_off:.4f}s vs {t_on:.4f}s "
+        f"enabled — the trace.enabled fast path has regressed"
+    )
+
+
 def test_bench_no_regression_vs_committed(benchmark):
     """Perf gate: >20% events/sec regression vs BENCH_sim_speed.json fails."""
     if not RESULT_PATH.exists():
@@ -250,6 +305,34 @@ def test_bench_no_regression_vs_committed(benchmark):
 
 
 # -- script entry point ----------------------------------------------------
+
+
+def obs_overhead() -> dict:
+    """Tracing-on vs tracing-off events/sec on the gate trace.
+
+    Both sides run the identical discrete event sequence (observability
+    is pure observation), so the events/sec ratio is the tracing tax.
+    """
+    print(f"[bench] observability overhead (mixed_{GATE_TRACE_REQUESTS}, "
+          f"budget {GATE_EVENT_BUDGET}) ...")
+    off = run_forked(lambda: run_once(
+        "discrete", mixed_trace(GATE_TRACE_REQUESTS),
+        max_events=GATE_EVENT_BUDGET))
+    on = run_forked(lambda: run_once(
+        "discrete", mixed_trace(GATE_TRACE_REQUESTS),
+        max_events=GATE_EVENT_BUDGET, observe=True))
+    overhead_pct = round(
+        (off["events_per_sec"] / on["events_per_sec"] - 1.0) * 100, 1
+    )
+    print(f"[bench]   off {off['events_per_sec']} ev/s, "
+          f"on {on['events_per_sec']} ev/s "
+          f"({on['spans']} spans, {on['audit_records']} audits): "
+          f"+{overhead_pct}% overhead")
+    return {
+        "tracing_off": off,
+        "tracing_on": on,
+        "overhead_pct": overhead_pct,
+    }
 
 
 def generate(quick: bool, steady_scales: list[int]) -> dict:
@@ -340,6 +423,7 @@ def generate(quick: bool, steady_scales: list[int]) -> dict:
     )
     gate["calibration_score"] = calibration
     report["gate"] = gate
+    report["observability"] = obs_overhead()
     return report
 
 
@@ -353,12 +437,24 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated steady-trace sizes (default quick: 2000; "
              "full: 10000,100000,1000000)",
     )
+    parser.add_argument(
+        "--obs-only", action="store_true",
+        help="re-measure only the observability overhead section and "
+             "merge it into the existing --out JSON (the gate and the "
+             "other sections are left untouched)",
+    )
     args = parser.parse_args(argv)
-    if args.steady_scales is not None:
-        scales = [int(s) for s in args.steady_scales.split(",") if s]
+    if args.obs_only:
+        report = (
+            json.loads(args.out.read_text()) if args.out.exists() else {}
+        )
+        report["observability"] = obs_overhead()
     else:
-        scales = [2_000] if args.quick else [10_000, 100_000, 1_000_000]
-    report = generate(args.quick, scales)
+        if args.steady_scales is not None:
+            scales = [int(s) for s in args.steady_scales.split(",") if s]
+        else:
+            scales = [2_000] if args.quick else [10_000, 100_000, 1_000_000]
+        report = generate(args.quick, scales)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench] wrote {args.out}")
     return 0

@@ -307,6 +307,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             prefix_cache=args.prefix_cache,
             qos=args.qos, admission=args.admission,
         )
+    obs = None
+    if args.trace_out or args.telemetry_interval is not None:
+        from repro.obs import DEFAULT_TELEMETRY_INTERVAL, Observability
+
+        obs = Observability(
+            telemetry_interval=(
+                args.telemetry_interval
+                if args.telemetry_interval is not None
+                else DEFAULT_TELEMETRY_INTERVAL
+            )
+        )
+        if hasattr(system, "observe"):
+            system.observe(obs)
+        else:
+            # Baseline engines: audit records only (no span/telemetry
+            # instrumentation on their serving loops).
+            system.trace = obs.tracer
     if driver is not None:
         result = system.run_driven(driver)
         trace = driver.requests  # realised arrivals, for reporting below
@@ -370,6 +387,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         util = utilization_summary(result, num_instances)
         print(f"\nutilization: prefill {util['prefill']:.0%}, "
               f"decode {util['decode']:.0%}, idle {util['idle']:.0%}")
+    if obs is not None:
+        if args.trace_out:
+            from repro.obs import export_jsonl, export_perfetto
+
+            if args.trace_out.endswith(".jsonl"):
+                lines = export_jsonl(obs, args.trace_out)
+                print(f"\nwrote {lines} observability records to "
+                      f"{args.trace_out} (JSONL)")
+            else:
+                doc = export_perfetto(obs, args.trace_out)
+                print(f"\nwrote {len(doc['traceEvents'])} trace events to "
+                      f"{args.trace_out} (Perfetto; open in ui.perfetto.dev "
+                      f"or chrome://tracing)")
+            print(f"  spans: {len(obs.tracer.spans)}  "
+                  f"audit records: {len(obs.tracer.records)}  "
+                  f"telemetry samples: {len(obs.metrics.sample_times)}")
+        if obs.metrics.sample_times:
+            print("\ntelemetry:")
+            print(obs.metrics.render_timeline())
     return 0
 
 
@@ -454,6 +490,17 @@ def main(argv: list[str] | None = None) -> int:
                             "submitted think-time after the previous turn "
                             "finishes instead of at a pre-generated instant "
                             "(--dataset sessions)")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="export the run's observability trace: "
+                            "Chrome/Perfetto trace JSON, or JSONL when PATH "
+                            "ends in .jsonl (arms spans + audit log + "
+                            "telemetry)")
+    serve.add_argument("--telemetry-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="time-series sampling cadence (default 0.5; with "
+                            "a fleet control loop, samples ride the control "
+                            "ticks instead); arms telemetry even without "
+                            "--trace-out")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")

@@ -154,9 +154,14 @@ class EngineServer:
             request.state = RequestState.FINISHED
             self.aborted.append(request)
             self._fire_terminal_hook(request)
-            self.trace.record(
-                self.sim.now, "abort", request=request.request_id, engine=self.name
-            )
+            if self.trace.enabled:
+                self.trace.audit(
+                    self.sim.now, "abort", component="server",
+                    request=request.request_id, engine=self.name,
+                )
+                self.trace.end_span(
+                    request.request_id, self.sim.now, aborted=True
+                )
             return
         self.waiting.append(request)
         self.waiting.sort(key=lambda r: r.arrival_time)
@@ -302,4 +307,8 @@ class EngineServer:
         request.preemptions += 1
         self.waiting.append(request)
         self.waiting.sort(key=lambda r: r.arrival_time)
-        self.trace.record(self.sim.now, "preempt", request=request.request_id)
+        if self.trace.enabled:
+            self.trace.audit(
+                self.sim.now, "preempt", component="server",
+                request=request.request_id,
+            )

@@ -112,10 +112,14 @@ class DistServeServer:
         if request.max_total_len + 1 > capacity:
             request.state = RequestState.FINISHED
             self.aborted.append(request)
-            self.trace.record(
-                self._sim.now, "abort", request=request.request_id,
-                system=self.name,
-            )
+            if self.trace.enabled:
+                self.trace.audit(
+                    self._sim.now, "abort", component="server",
+                    request=request.request_id, system=self.name,
+                )
+                self.trace.end_span(
+                    request.request_id, self._sim.now, aborted=True
+                )
             return
         self.prefill_engine.submit(request)
 

@@ -56,6 +56,12 @@ class LoongServeServer:
         )
         self.manager = manager or GlobalManager(config, self.cost_model)
         self.trace = trace or TraceRecorder(enabled=False)
+        # Observability (repro.obs): :meth:`observe` swaps in a shared
+        # Tracer and arms telemetry sampling.  ``obs_replica`` labels
+        # this server's spans/audits in fleet runs.  The default (no
+        # bundle, disabled tracer) is the bit-identical baseline.
+        self._obs = None
+        self.obs_replica = 0
         # QoS (repro.qos): with a policy armed the scheduler admits by
         # deadline feasibility, orders dispatch earliest-slack-first
         # within tier priority, and preempts batch-tier decodes for
@@ -148,10 +154,17 @@ class LoongServeServer:
                     time, self._make_group_arrival(requests[idx:end]), label="arrival"
                 )
             idx = end
+        if self._obs is not None:
+            obs = self._obs
+            obs.arm_standalone_sampler(
+                self.sim, (lambda now: obs.sample_server(self, now))
+            )
         if max_events is None:
             self.sim.run_until_idle()
         else:
             self.sim.run(max_events=max_events)
+        if self._obs is not None:
+            self._obs.tracer.finalize(self.sim.now)
         return self._collect_result()
 
     def run_driven(self, driver) -> ServeResult:
@@ -163,7 +176,14 @@ class LoongServeServer:
         """
         self._reset()
         driver.install(self.sim, self.submit)
+        if self._obs is not None:
+            obs = self._obs
+            obs.arm_standalone_sampler(
+                self.sim, (lambda now: obs.sample_server(self, now))
+            )
         self.sim.run_until_idle()
+        if self._obs is not None:
+            self._obs.tracer.finalize(self.sim.now)
         return self._collect_result()
 
     def _collect_result(self) -> ServeResult:
@@ -182,6 +202,7 @@ class LoongServeServer:
             qos_stats=(
                 self.qos_ledger.as_dict() if self.qos_ledger is not None else None
             ),
+            obs=self._obs,
         )
 
     def use_simulator(self, sim: Simulator) -> None:
@@ -192,12 +213,31 @@ class LoongServeServer:
         """
         self.sim = sim
 
+    def observe(self, obs, replica: int = 0) -> None:
+        """Attach an :class:`~repro.obs.observe.Observability` bundle.
+
+        Spans and audits from this server land in the bundle's tracer;
+        :meth:`run`/:meth:`run_driven` arm its telemetry sampler.
+        Survives :meth:`_reset` — the bundle covers the whole run.
+        """
+        self._obs = obs
+        self.trace = obs.tracer
+        self.obs_replica = replica
+
     def submit(self, request: Request) -> None:
         """External enqueue from a dispatcher (e.g. a fleet router)."""
         self._all_requests.append(request)
         self.pending.append(request)
         self._unvetted.append(request)
-        self.trace.record(self.sim.now, "arrival", request=request.request_id)
+        if self.trace.enabled:
+            now = self.sim.now
+            self.trace.audit(
+                now, "arrival", component="server", replica=self.obs_replica,
+                request=request.request_id,
+            )
+            self.trace.transition(
+                request.request_id, "queued", now, replica=self.obs_replica
+            )
         self._request_tick()
 
     def crash(self) -> tuple[list[Request], int]:
@@ -218,8 +258,13 @@ class LoongServeServer:
         lost_tokens = self.pool.total_used
         orphans = [r for r in self._all_requests if not r.finished]
         self._all_requests = [r for r in self._all_requests if r.finished]
-        for request in orphans:
-            self.trace.record(self.sim.now, "crash_orphan", request=request.request_id)
+        if self.trace.enabled:
+            now = self.sim.now
+            for request in orphans:
+                self.trace.audit(
+                    now, "crash_orphan", component="server",
+                    replica=self.obs_replica, request=request.request_id,
+                )
         self._epoch += 1
         self._tick_pending = False
         self._prefilling.clear()
@@ -249,7 +294,15 @@ class LoongServeServer:
         def _on_arrival() -> None:
             self.pending.append(request)
             self._unvetted.append(request)
-            self.trace.record(self.sim.now, "arrival", request=request.request_id)
+            if self.trace.enabled:
+                now = self.sim.now
+                self.trace.audit(
+                    now, "arrival", component="server",
+                    replica=self.obs_replica, request=request.request_id,
+                )
+                self.trace.transition(
+                    request.request_id, "queued", now, replica=self.obs_replica
+                )
             self._request_tick()
 
         return _on_arrival
@@ -259,11 +312,23 @@ class LoongServeServer:
             now = self.sim.now
             pending = self.pending
             unvetted = self._unvetted
-            record = self.trace.record
-            for request in group:
-                pending.append(request)
-                unvetted.append(request)
-                record(now, "arrival", request=request.request_id)
+            trace = self.trace
+            if trace.enabled:
+                replica = self.obs_replica
+                for request in group:
+                    pending.append(request)
+                    unvetted.append(request)
+                    trace.audit(
+                        now, "arrival", component="server", replica=replica,
+                        request=request.request_id,
+                    )
+                    trace.transition(
+                        request.request_id, "queued", now, replica=replica
+                    )
+            else:
+                for request in group:
+                    pending.append(request)
+                    unvetted.append(request)
             self._request_tick()
 
         return _on_group_arrival
@@ -338,10 +403,12 @@ class LoongServeServer:
         for request in self._unvetted:
             if request.max_total_len + 1 > capacity:
                 self._abort_request(request)
-                self.trace.record(
-                    self.sim.now, "abort", request=request.request_id,
-                    needed=request.max_total_len, capacity=capacity,
-                )
+                if self.trace.enabled:
+                    self.trace.audit(
+                        self.sim.now, "abort", component="server",
+                        replica=self.obs_replica, request=request.request_id,
+                        needed=request.max_total_len, capacity=capacity,
+                    )
                 dropped = True
             else:
                 fits.add(request.request_id)
@@ -353,6 +420,8 @@ class LoongServeServer:
         """Terminal-abort a queued request (impossible or QoS-rejected)."""
         request.state = RequestState.FINISHED  # terminal, but flagged
         self.aborted.append(request)
+        if self.trace.enabled:
+            self.trace.end_span(request.request_id, self.sim.now, aborted=True)
         if self.qos_ledger is not None and request.deadline is None:
             # Capacity-impossible drops abort before admission ever
             # prices them (a stamped deadline marks evaluation — the
@@ -417,10 +486,12 @@ class LoongServeServer:
                 request.deadline = decision.deadline
                 self.qos_ledger.note(request.qos, "admitted")
                 backlog += request.prefill_tokens
-                self.trace.record(
-                    now, "qos_admit", request=request.request_id,
-                    cls=decision.qos_class.name,
-                )
+                if self.trace.enabled:
+                    self.trace.audit(
+                        now, "qos_admit", component="qos",
+                        replica=self.obs_replica, request=request.request_id,
+                        cls=decision.qos_class.name,
+                    )
             else:
                 rejected.append(request)
                 # Stamp the failed deadline: terminal state either way,
@@ -428,12 +499,14 @@ class LoongServeServer:
                 # _abort_request does not count it again.
                 request.deadline = decision.deadline
                 self.qos_ledger.note(request.qos, "rejected")
-                self.trace.record(
-                    now, "qos_reject", request=request.request_id,
-                    cls=decision.qos_class.name,
-                    predicted=round(decision.predicted_completion, 4),
-                    deadline=round(decision.deadline, 4),
-                )
+                if self.trace.enabled:
+                    self.trace.audit(
+                        now, "qos_reject", component="qos",
+                        replica=self.obs_replica, request=request.request_id,
+                        cls=decision.qos_class.name,
+                        predicted=round(decision.predicted_completion, 4),
+                        deadline=round(decision.deadline, 4),
+                    )
         if rejected:
             dropped = set(map(id, rejected))
             self.pending = [r for r in self.pending if id(r) not in dropped]
@@ -495,10 +568,12 @@ class LoongServeServer:
                 if victim not in batch.requests:
                     continue  # already finished/preempted this tick
                 self._preempt_request(victim, batch)
-                self.trace.record(
-                    now, "qos_preempt", victim=victim.request_id,
-                    beneficiary=request.request_id,
-                )
+                if self.trace.enabled:
+                    self.trace.audit(
+                        now, "qos_preempt", component="qos",
+                        replica=self.obs_replica, victim=victim.request_id,
+                        beneficiary=request.request_id,
+                    )
                 budget -= 1
                 free = self.pool.total_free - reserved
             if free >= demand:
@@ -564,6 +639,11 @@ class LoongServeServer:
                     request.cached_prefix_len = 0
                 self.pending.append(request)
                 self.pending.sort(key=lambda r: r.arrival_time)
+                if self.trace.enabled:
+                    self.trace.transition(
+                        request.request_id, "preempted", self.sim.now,
+                        replica=self.obs_replica,
+                    )
                 continue
             home = max(placement, key=placement.get)
             host = next(
@@ -620,11 +700,22 @@ class LoongServeServer:
                 start_time=self.sim.now,
             )
         )
-        self.trace.record(
-            self.sim.now, "prefill_start",
-            batch=task.batch_id, size=len(task.requests),
-            tokens=task.total_tokens, dop=task.dop, duration=round(duration, 4),
-        )
+        if self.trace.enabled:
+            now = self.sim.now
+            replica = self.obs_replica
+            self.trace.audit(
+                now, "prefill_start", component="scheduler", replica=replica,
+                batch=task.batch_id, size=len(task.requests),
+                tokens=task.total_tokens, dop=task.dop,
+                group=list(task.group.instance_ids),
+                duration=round(duration, 4),
+            )
+            for request in task.requests:
+                self.trace.transition(
+                    request.request_id, "prefill", now, replica=replica,
+                    batch=task.batch_id, dop=task.dop,
+                    group=list(task.group.instance_ids),
+                )
         self.sim.call_after(
             planned.start_delay + duration,
             self._guarded(lambda: self._on_prefill_done(planned)),
@@ -665,10 +756,17 @@ class LoongServeServer:
         self._restore_decode_roles()
         if survivors:
             self._join_decode(survivors, sorted(kept))
-        self.trace.record(
-            now, "prefill_done", batch=task.batch_id,
-            kept=sorted(kept), survivors=len(survivors),
-        )
+        if self.trace.enabled:
+            replica = self.obs_replica
+            self.trace.audit(
+                now, "prefill_done", component="scheduler", replica=replica,
+                batch=task.batch_id, kept=sorted(kept),
+                survivors=len(survivors),
+            )
+            for request in survivors:
+                self.trace.transition(
+                    request.request_id, "decode", now, replica=replica,
+                )
         self._request_tick()
 
     def _restore_decode_roles(self) -> None:
@@ -724,11 +822,12 @@ class LoongServeServer:
                 batch_size=batch.batch_size,
             )
         )
-        self.trace.record(
-            self.sim.now, "scale_up",
-            batch=batch.batch_id, added=list(decision.add_instances),
-            reason=decision.reason,
-        )
+        if self.trace.enabled:
+            self.trace.audit(
+                self.sim.now, "scale_up", component="scheduler",
+                replica=self.obs_replica, batch=batch.batch_id,
+                added=list(decision.add_instances), reason=decision.reason,
+            )
 
     # -- decode execution -------------------------------------------------------
 
@@ -843,10 +942,12 @@ class LoongServeServer:
                 batch_size=batch.batch_size,
             )
         )
-        self.trace.record(
-            self.sim.now, "merge_batches",
-            into=batch.batch_id, donor=donor.batch_id, group=list(merged),
-        )
+        if self.trace.enabled:
+            self.trace.audit(
+                self.sim.now, "merge_batches", component="scheduler",
+                replica=self.obs_replica, into=batch.batch_id,
+                donor=donor.batch_id, group=list(merged),
+            )
         return True
 
     def _pick_preemption_victim(self, batch: DecodeBatch) -> Request:
@@ -881,7 +982,15 @@ class LoongServeServer:
             request.cached_prefix_len = 0
         self.pending.append(request)
         self.pending.sort(key=lambda r: r.arrival_time)
-        self.trace.record(self.sim.now, "preempt", request=request.request_id)
+        if self.trace.enabled:
+            now = self.sim.now
+            self.trace.audit(
+                now, "preempt", component="scheduler",
+                replica=self.obs_replica, request=request.request_id,
+            )
+            self.trace.transition(
+                request.request_id, "preempted", now, replica=self.obs_replica
+            )
 
     def _on_decode_done(self, batch: DecodeBatch, masters: tuple[int, ...]) -> None:
         now = self.sim.now
@@ -947,7 +1056,13 @@ class LoongServeServer:
             self._decode_latency_sum += self.sim.now - request.prefill_end
             self._decode_latency_count += 1
         self._fire_terminal_hook(request)
-        self.trace.record(self.sim.now, "finish", request=request.request_id)
+        if self.trace.enabled:
+            now = self.sim.now
+            self.trace.audit(
+                now, "finish", component="server", replica=self.obs_replica,
+                request=request.request_id,
+            )
+            self.trace.end_span(request.request_id, now)
 
     def _reclaim_cached(self, num_tokens: int, instance_ids: list[int]) -> bool:
         """Evict unlocked cache extents on ``instance_ids``; True when any

@@ -219,6 +219,58 @@ def _run_qos(args: argparse.Namespace) -> None:
     )
 
 
+def _main_explain(argv: list[str]) -> int:
+    """`python -m repro.experiments explain` — replay an exported trace.
+
+    Reconstructs one request's lifecycle story (spans + the audit
+    records that mention it) from a ``--trace-out`` export, or diffs
+    the telemetry of two runs.  Reads both export formats (Perfetto
+    trace JSON and JSONL).
+    """
+    from repro.obs import diff_telemetry, load_export, request_ids, request_story
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments explain",
+        description="Replay an observability export: one request's story, "
+                    "or a telemetry diff of two runs.",
+    )
+    parser.add_argument("--trace-in", required=True, metavar="PATH",
+                        help="export written by `python -m repro serve "
+                             "--trace-out` (Perfetto JSON or JSONL)")
+    parser.add_argument("--request", type=int, default=None, metavar="ID",
+                        help="reconstruct this request's lifecycle story")
+    parser.add_argument("--diff", default=None, metavar="PATH",
+                        help="second export: print a per-metric telemetry "
+                             "diff (--trace-in vs --diff) instead of a story")
+    args = parser.parse_args(argv)
+
+    data = load_export(args.trace_in)
+    if args.diff is not None:
+        import os
+
+        other = load_export(args.diff)
+        label_a = os.path.basename(args.trace_in) or args.trace_in
+        label_b = os.path.basename(args.diff) or args.diff
+        if label_a == label_b:
+            label_a, label_b = args.trace_in, args.diff
+        print(f"telemetry diff: {args.trace_in} vs {args.diff}")
+        print(diff_telemetry(data, other, label_a=label_a, label_b=label_b))
+        return 0
+    if args.request is None:
+        ids = request_ids(data)
+        print(f"{args.trace_in}: {len(data['spans'])} spans, "
+              f"{len(data['audits'])} audit records, "
+              f"{len(ids)} requests traced")
+        if ids:
+            preview = ", ".join(str(i) for i in ids[:20])
+            more = ", ..." if len(ids) > 20 else ""
+            print(f"request ids: {preview}{more}")
+            print("rerun with --request ID for one request's story")
+        return 0
+    print(request_story(data, args.request))
+    return 0
+
+
 FIGURES = {
     "figure2": _run_figure2,
     "figure3": _run_figure3,
@@ -237,11 +289,15 @@ FIGURES = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] == "explain":
+        return _main_explain(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate LoongServe paper figures on the simulated substrate.",
+        description="Regenerate LoongServe paper figures on the simulated "
+                    "substrate (or `explain` an observability export).",
     )
-    parser.add_argument("figure", choices=[*FIGURES, "all"])
+    parser.add_argument("figure", choices=[*FIGURES, "all", "explain"])
     parser.add_argument(
         "--scale",
         type=float,

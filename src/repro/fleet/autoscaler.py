@@ -70,11 +70,15 @@ class QueueDepthAutoscaler:
         self.config = config or AutoscalerConfig()
         self._hot_ticks = 0
         self._cold_ticks = 0
+        # Pressure signals behind the most recent decision, for the
+        # control-plane audit log.
+        self.last_signals: dict[str, float] = {}
 
     def reset(self) -> None:
         """Clear hysteresis state (fresh fleet run)."""
         self._hot_ticks = 0
         self._cold_ticks = 0
+        self.last_signals = {}
 
     def decide(self, replicas: Sequence, now: float) -> list[tuple[str, object]]:
         """One control tick's capacity actions: (``"unpark" | "drain"``,
@@ -104,6 +108,12 @@ class QueueDepthAutoscaler:
         underloaded = depth <= config.low_queue_depth and kv <= config.low_kv_fraction
         self._hot_ticks = self._hot_ticks + 1 if overloaded else 0
         self._cold_ticks = self._cold_ticks + 1 if underloaded and not warming else 0
+        self.last_signals = {
+            "depth": round(depth, 4),
+            "kv": round(kv, 4),
+            "hot_ticks": self._hot_ticks,
+            "cold_ticks": self._cold_ticks,
+        }
 
         if self._hot_ticks >= config.hysteresis_ticks:
             target = self._unpark_target(replicas)
@@ -216,6 +226,9 @@ class PredictiveAutoscaler:
         self._last_tokens = 0
         self._rate_ewma: float | None = None
         self._low_ticks = 0
+        # Forecast signals behind the most recent decision, for the
+        # control-plane audit log.
+        self.last_signals: dict[str, float] = {}
 
     @staticmethod
     def _arrived_tokens(replicas: Sequence) -> int:
@@ -274,6 +287,13 @@ class PredictiveAutoscaler:
         # (no flap-park the moment they come online).
         warming = sum(1 for r in replicas if getattr(r, "warming", False))
         utilization = demand / len(accepting)
+        self.last_signals = {
+            "rate": round(self._rate_ewma, 2),
+            "demand": round(demand, 4),
+            "desired": desired,
+            "accepting": len(accepting),
+            "utilization": round(utilization, 4),
+        }
         if desired > len(accepting) + warming:
             self._low_ticks = 0
             target = unpark_target(replicas)

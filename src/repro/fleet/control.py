@@ -87,6 +87,9 @@ class ClusterPolicy:
         # crash recovery and autoscaler unpark).
         self.injector = injector
         self.lifecycle = lifecycle
+        # Armed by FleetServer.observe(): routing decisions are audited
+        # (with per-replica probe scores) when a tracer is attached.
+        self.tracer = None
 
     @property
     def has_actuators(self) -> bool:
@@ -136,7 +139,16 @@ class ClusterPolicy:
             pool = [
                 r for r in replicas if getattr(r, "placeable", True)
             ] or list(replicas)
-        return self.router.route(request, pool, now)
+        chosen = self.router.route(request, pool, now)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.audit(
+                now, "route", component="router",
+                replica=chosen.replica_id, request=request.request_id,
+                router=self.router.name,
+                scores=self.router.probe_scores(request, pool, now),
+            )
+        return chosen
 
 
 class FleetController:
@@ -159,6 +171,7 @@ class FleetController:
         stats: ElasticStats,
         interval: float = DEFAULT_CONTROL_INTERVAL,
         work_remaining: Callable[[], bool] | None = None,
+        obs=None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"control interval must be positive, got {interval}")
@@ -168,6 +181,10 @@ class FleetController:
         self.stats = stats
         self.interval = interval
         self._work_remaining = work_remaining or (lambda: False)
+        # Observability: control-plane decisions are audited into
+        # ``obs.tracer`` and telemetry samples ride the control ticks.
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
         # Stolen requests currently riding behind a KV transfer: the
         # destination must not park (and wipe the just-imported extent)
         # while a delivery is still in flight, and a destination crash
@@ -213,6 +230,8 @@ class FleetController:
             self._steal()
         self._park_drained()
         self.stats.record_capacity(self.sim.now, self._online_count())
+        if self.obs is not None:
+            self.obs.sample_fleet(self.replicas, self.sim.now)
         if self._work_remaining() or self._deliveries or self._limbo:
             self._arm()
         else:
@@ -234,9 +253,27 @@ class FleetController:
 
     # -- actuators -------------------------------------------------------------
 
+    def _audit(self, kind: str, *, replica: int = -1, **payload) -> None:
+        """Record one control-plane decision (no-op without a tracer)."""
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.audit(
+                self.sim.now, kind, component="control", replica=replica,
+                **payload,
+            )
+
     def _autoscale(self) -> None:
         now = self.sim.now
+        tracing = self._tracer is not None and self._tracer.enabled
         for action, handle in self.policy.autoscaler.decide(self.replicas, now):
+            if tracing:
+                self._audit(
+                    "autoscale", replica=handle.replica_id, action=action,
+                    signals=dict(
+                        getattr(self.policy.autoscaler, "last_signals", None)
+                        or {}
+                    ),
+                )
             if action == "unpark":
                 if handle.online:
                     # Cancelling an in-progress drain brings no replica
@@ -262,16 +299,19 @@ class FleetController:
                 continue
             if any(d.dst is handle for d in self._deliveries):
                 continue  # a stolen request's KV is still in flight here
+            rescued = 0
             if self.policy.migrator is not None:
                 handoffs = self.policy.migrator.rescue_resident(
                     handle,
                     [r for r in self.replicas if r is not handle and r.available],
                     now,
                 )
+                rescued = len(handoffs)
                 for handoff in handoffs:
                     self._charge_migration(handoff)
             handle.clear_prefix_cache()
             handle.park()
+            self._audit("park", replica=handle.replica_id, rescued=rescued)
             self.stats.record_action(now, "park", handle.replica_id)
             if self.policy.lifecycle is not None:
                 # Cool-down is a capacity charge, not a latency one: the
@@ -297,6 +337,21 @@ class FleetController:
                     reprefill = handoff.reprefill_tokens
             self.stats.stolen_requests += 1
             self.stats.steal_reprefill_tokens += reprefill
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                tracer.audit(
+                    now, "steal", component="control",
+                    replica=move.dst.replica_id, **move.audit_payload(),
+                    reprefill=reprefill, delay=round(delay, 6),
+                )
+                if delay > 0.0:
+                    # The request rides behind its KV transfer: a
+                    # "migrating" span until the delivery lands.
+                    tracer.transition(
+                        move.request.request_id, "migrating", now,
+                        replica=move.dst.replica_id,
+                        src=move.src.replica_id,
+                    )
             if delay > 0.0:
                 # The stolen request rides behind its KV transfer: it is
                 # re-submitted only once the prefix extent has landed.
@@ -330,9 +385,17 @@ class FleetController:
             # Parked, warming, already crashed, or out of range: nothing
             # left to kill (the fleet absorbed this fault).
             injector.note_skipped(fault)
+            self._audit(
+                "crash_skipped", replica=fault.replica_id,
+                downtime_s=fault.downtime_s,
+            )
             self.stats.record_action(now, "crash-skipped", fault.replica_id)
             return
         orphans, lost_tokens = handle.crash()
+        self._audit(
+            "crash", replica=handle.replica_id, downtime_s=fault.downtime_s,
+            orphans=len(orphans), lost_kv_tokens=lost_tokens,
+        )
         injector.note_injected(fault)
         self.stats.crashes += 1
         self.stats.lost_kv_tokens += lost_tokens
@@ -374,12 +437,32 @@ class FleetController:
         Orphans take the same placement path arrivals do (including the
         parked-but-healthy fallback); limbo is only for the
         nothing-left case."""
+        tracer = self._tracer
+        tracing = tracer is not None and tracer.enabled
         for request in orphans:
             self.stats.failovers += 1
-            self.stats.failover_reprefill_tokens += reset_for_failover(request)
+            reprefill = reset_for_failover(request)
+            self.stats.failover_reprefill_tokens += reprefill
+            if tracing:
+                # The failover span bridges the crash and the re-dispatch
+                # landing; replica -1 = the fleet control plane.
+                tracer.transition(
+                    request.request_id, "failover", now, replica=-1
+                )
             if self._can_place():
-                self.policy.place(request, self.replicas, now).submit(request)
+                target = self.policy.place(request, self.replicas, now)
+                if tracing:
+                    self._audit(
+                        "failover", replica=target.replica_id,
+                        request=request.request_id, reprefill=reprefill,
+                    )
+                target.submit(request)
             else:
+                if tracing:
+                    self._audit(
+                        "failover", request=request.request_id,
+                        reprefill=reprefill, limbo=True,
+                    )
                 self._limbo.append(request)
 
     def try_hold_arrival(self, request: Request) -> bool:
@@ -417,6 +500,10 @@ class FleetController:
         self.stats.record_action(now, action, handle.replica_id)
         lifecycle = self.policy.lifecycle
         warmup = lifecycle.warmup_s if lifecycle is not None else 0.0
+        self._audit(
+            "warmup", replica=handle.replica_id, action=action,
+            warmup_s=warmup,
+        )
         if warmup <= 0.0:
             self._complete_warmup(handle)
             return
@@ -433,6 +520,7 @@ class FleetController:
     def _complete_warmup(self, handle) -> None:
         handle.complete_warmup()
         now = self.sim.now
+        self._audit("online", replica=handle.replica_id)
         self.stats.record_action(now, "online", handle.replica_id)
         self.stats.note_outage_end(now, handle.replica_id)  # no-op for unparks
         self.stats.record_capacity(now, self._online_count())
@@ -441,6 +529,14 @@ class FleetController:
     def _charge_migration(self, handoff) -> float:
         """Record one executed handoff; returns its modelled seconds."""
         cost = handoff.cost(*self.policy.migrator.pricing)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.audit(
+                self.sim.now, "migrate_kv", component="control",
+                replica=handoff.dst_replica, request=handoff.request_id,
+                src=handoff.src_replica, tokens=handoff.num_tokens,
+                cost_s=round(cost, 6),
+            )
         self.stats.migrations += 1
         self.stats.migrated_kv_tokens += handoff.num_tokens
         self.stats.migration_seconds += cost

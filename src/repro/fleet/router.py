@@ -74,6 +74,26 @@ class Router(abc.ABC):
     def route(self, request: Request, replicas: Sequence, now: float):
         """Return the chosen replica handle (never None; fleet size >= 1)."""
 
+    def probe_scores(
+        self, request: Request, replicas: Sequence, now: float
+    ) -> list[dict]:
+        """Per-replica probe snapshot justifying a routing choice.
+
+        The control-plane audit log attaches this to each ``route``
+        record; subclasses extend the base signals with whatever their
+        policy actually ranked on (prefix match length, predicted
+        slack).  Only called when a tracer is armed — never on the
+        routing hot path itself.
+        """
+        return [
+            {
+                "replica": r.replica_id,
+                "outstanding": r.outstanding_requests(),
+                "kv_free": r.kv_free(),
+            }
+            for r in replicas
+        ]
+
 
 class RoundRobinRouter(Router):
     """Cycle through replicas in arrival order."""
@@ -189,6 +209,14 @@ class CacheAffinityRouter(Router):
         probe = getattr(replica, "prefix_match_len", None)
         return probe(request) if callable(probe) else 0
 
+    def probe_scores(
+        self, request: Request, replicas: Sequence, now: float
+    ) -> list[dict]:
+        scores = super().probe_scores(request, replicas, now)
+        for score, replica in zip(scores, replicas):
+            score["match"] = self._match_len(replica, request)
+        return scores
+
 
 class SLORouter(Router):
     """Place each request on the replica with the best predicted slack.
@@ -243,6 +271,17 @@ class SLORouter(Router):
     def predicted_slack(self, request: Request, replica, now: float) -> float:
         """Seconds to spare if placed on ``replica`` (public probe)."""
         return self._slack(request, replica, now, self._deadline(request))
+
+    def probe_scores(
+        self, request: Request, replicas: Sequence, now: float
+    ) -> list[dict]:
+        scores = super().probe_scores(request, replicas, now)
+        deadline = self._deadline(request)
+        for score, replica in zip(scores, replicas):
+            score["slack"] = round(
+                self._slack(request, replica, now, deadline), 4
+            )
+        return scores
 
     def _slack(
         self, request: Request, replica, now: float, deadline: float

@@ -445,6 +445,17 @@ class FleetServer:
         self.name = name or f"{base} x{len(replicas)} [{self.policy.name}]"
         self._remaining_arrivals = 0
         self._controller: FleetController | None = None
+        self._obs = None
+
+    def observe(self, obs) -> None:
+        """Attach an :class:`~repro.obs.observe.Observability` bundle.
+
+        Every replica's spans/audits land in the shared tracer (tagged
+        with its replica id), the control plane audits its decisions,
+        and telemetry samples ride the control ticks (or a standalone
+        timer on static fleets).
+        """
+        self._obs = obs
 
     def run(self, requests: list[Request]) -> FleetResult:
         """Serve a trace across the fleet; returns the merged result."""
@@ -464,6 +475,15 @@ class FleetServer:
         self.policy.reset()
         for handle in self.replicas:
             handle.prepare(sim)
+        obs = self._obs
+        self.policy.tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            for handle in self.replicas:
+                server = handle.server
+                if hasattr(server, "observe"):
+                    server.observe(obs, replica=handle.replica_id)
+                else:
+                    server.trace = obs.tracer
         self._remaining_arrivals = len(requests) + (
             driver.total_requests if driver is not None else 0
         )
@@ -479,6 +499,7 @@ class FleetServer:
                 stats=elastic,
                 interval=self.control_interval,
                 work_remaining=self._work_remaining,
+                obs=obs,
             )
         for request in requests:
             sim.call_at(
@@ -490,7 +511,14 @@ class FleetServer:
             driver.install(sim, (lambda req: self._place_arrival(req, sim)))
         if controller is not None:
             controller.start()
+        elif obs is not None:
+            # No control loop to ride: sample on a standalone timer.
+            obs.arm_standalone_sampler(
+                sim, (lambda now: obs.sample_fleet(self.replicas, now))
+            )
         sim.run_until_idle()
+        if obs is not None:
+            obs.tracer.finalize(sim.now)
 
         per_replica = [handle.result(sim.now) for handle in self.replicas]
         merged = merge_serve_results(per_replica, system=self.name)
@@ -503,6 +531,7 @@ class FleetServer:
             aborted=merged.aborted,
             cache_stats=merged.cache_stats,
             qos_stats=merged.qos_stats,
+            obs=obs,
             per_replica=per_replica,
             elastic=elastic,
         )

@@ -66,6 +66,16 @@ class StealMove:
         """Prefix tokens the destination must re-prefill (pre-migration)."""
         return max(0, self.src_match - self.dst_match)
 
+    def audit_payload(self) -> dict:
+        """Structured fields for the control-plane audit log."""
+        return {
+            "request": self.request.request_id,
+            "src": self.src.replica_id,
+            "dst": self.dst.replica_id,
+            "src_match": self.src_match,
+            "dst_match": self.dst_match,
+        }
+
 
 class WorkStealer:
     """Plan queue rebalancing moves from overloaded to idle replicas."""

@@ -1,0 +1,42 @@
+"""Unified observability: spans, audit log, telemetry, exporters.
+
+See :mod:`repro.obs.tracer` for the span/audit model,
+:mod:`repro.obs.telemetry` for the metrics registry,
+:mod:`repro.obs.observe` for the run-level bundle and samplers, and
+:mod:`repro.obs.export`/:mod:`repro.obs.explain` for the Perfetto/JSONL
+exporters and the post-hoc ``explain`` narration.
+"""
+
+from repro.obs.explain import diff_telemetry, request_ids, request_story
+from repro.obs.export import (
+    export_jsonl,
+    export_perfetto,
+    load_export,
+    perfetto_trace,
+    validate_perfetto,
+)
+from repro.obs.observe import DEFAULT_TELEMETRY_INTERVAL, Observability
+from repro.obs.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import SPAN_PHASES, AuditRecord, Span, TraceRecord, Tracer
+
+__all__ = [
+    "AuditRecord",
+    "Counter",
+    "DEFAULT_TELEMETRY_INTERVAL",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "SPAN_PHASES",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "diff_telemetry",
+    "export_jsonl",
+    "export_perfetto",
+    "load_export",
+    "perfetto_trace",
+    "request_ids",
+    "request_story",
+    "validate_perfetto",
+]

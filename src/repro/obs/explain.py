@@ -1,0 +1,122 @@
+"""Post-hoc narration of exported traces.
+
+``python -m repro.experiments explain`` drives these: given an export
+written by :mod:`repro.obs.export`, :func:`request_story` reconstructs
+one request's full lifecycle (spans interleaved with every control-
+plane decision that touched it), and :func:`diff_telemetry` compares
+two runs' sampled series side by side.
+"""
+
+from __future__ import annotations
+
+#: Audit payload keys that name a request — used to pull the decisions
+#: that touched a given request into its story.
+_REQUEST_KEYS = ("request", "victim", "beneficiary")
+
+
+def _mentions(audit: dict, request_id: int) -> bool:
+    payload = audit.get("payload", {})
+    return any(payload.get(key) == request_id for key in _REQUEST_KEYS)
+
+
+def request_ids(data: dict) -> list[int]:
+    """Every request id with at least one span in the export."""
+    return sorted({span["request"] for span in data["spans"]})
+
+
+def request_story(data: dict, request_id: int) -> str:
+    """One request's lifecycle as a chronological timeline.
+
+    ``data`` is :func:`repro.obs.export.load_export` output.  Spans and
+    the audit records that mention the request are merged into one
+    time-ordered narrative.
+    """
+    spans = [s for s in data["spans"] if s["request"] == request_id]
+    audits = [a for a in data["audits"] if _mentions(a, request_id)]
+    if not spans and not audits:
+        known = request_ids(data)
+        hint = (
+            f" (export has requests {known[0]}..{known[-1]})" if known else ""
+        )
+        return f"request {request_id}: not found in export{hint}"
+
+    events: list[tuple[float, int, str]] = []
+    for span in sorted(spans, key=lambda s: (s["start"], s["end"])):
+        attrs = {k: v for k, v in span.get("attrs", {}).items()}
+        extra = (
+            "  " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        )
+        where = (
+            f"replica-{span['replica']}"
+            if span["replica"] >= 0
+            else "control-plane"
+        )
+        events.append(
+            (
+                span["start"],
+                1,
+                f"[{span['start']:10.4f} → {span['end']:10.4f}] "
+                f"{span['phase']:<10} @{where}"
+                f"  ({span['end'] - span['start']:.4f}s){extra}",
+            )
+        )
+    for audit in audits:
+        payload = " ".join(
+            f"{k}={v}" for k, v in audit.get("payload", {}).items()
+        )
+        where = (
+            f"replica-{audit['replica']}" if audit["replica"] >= 0 else "fleet"
+        )
+        events.append(
+            (
+                audit["time"],
+                0,
+                f"[{audit['time']:10.4f}]              • "
+                f"{audit['kind']:<16} {audit['component']}@{where}  {payload}",
+            )
+        )
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    total = sum(s["end"] - s["start"] for s in spans)
+    phases: dict[str, float] = {}
+    for span in spans:
+        phases[span["phase"]] = (
+            phases.get(span["phase"], 0.0) + span["end"] - span["start"]
+        )
+    breakdown = "  ".join(f"{k}={v:.4f}s" for k, v in sorted(phases.items()))
+    header = (
+        f"request {request_id}: {len(spans)} spans over {total:.4f}s, "
+        f"{len(audits)} control-plane decisions\n  {breakdown}"
+    )
+    return header + "\n" + "\n".join(f"  {line}" for _, _, line in events)
+
+
+def _series_stats(points: list) -> tuple[float, float]:
+    values = [v for _, v in points]
+    if not values:
+        return 0.0, 0.0
+    return sum(values) / len(values), max(values)
+
+
+def diff_telemetry(a: dict, b: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Side-by-side comparison of two exports' telemetry series."""
+    metrics = sorted(set(a["samples"]) | set(b["samples"]))
+    if not metrics:
+        return "no telemetry series in either export"
+    width = max(len(m) for m in metrics)
+    lines = [
+        f"{'metric':<{width}}  {label_a + ' mean':>12} {label_b + ' mean':>12} "
+        f"{'Δ mean':>9}  {label_a + ' max':>12} {label_b + ' max':>12}"
+    ]
+    for metric in metrics:
+        mean_a, max_a = _series_stats(a["samples"].get(metric, []))
+        mean_b, max_b = _series_stats(b["samples"].get(metric, []))
+        if mean_a:
+            delta = f"{(mean_b - mean_a) / abs(mean_a) * 100:+8.1f}%"
+        else:
+            delta = "     n/a"
+        lines.append(
+            f"{metric:<{width}}  {mean_a:>12.4g} {mean_b:>12.4g} {delta:>9}  "
+            f"{max_a:>12.4g} {max_b:>12.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Trace exporters: Chrome/Perfetto ``trace.json`` and JSONL.
+
+The Perfetto export follows the Chrome Trace Event JSON format (the
+``traceEvents`` array form), which both ``chrome://tracing`` and
+https://ui.perfetto.dev open directly:
+
+* one *process* (``pid``) per replica (plus a synthetic control-plane
+  process for fleet-level records), named via ``"M"`` metadata events;
+* request-lifecycle spans as ``"X"`` complete events — ``tid`` is the
+  request id, so each request renders as its own track nested under its
+  replica, phases laid end to end;
+* audit records as ``"i"`` instant events;
+* telemetry series as ``"C"`` counter events.
+
+Timestamps are microseconds (the format's unit); simulation seconds are
+scaled by 1e6.  ``load_export`` reads either format back into plain
+dicts so :mod:`repro.obs.explain` can replay a run from the file alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.observe import Observability
+
+#: pid used for control-plane records not tied to one replica.
+CONTROL_PLANE_PID = 999
+
+_US = 1_000_000  # seconds -> microseconds
+
+
+def _span_event(span) -> dict:
+    pid = span.replica if span.replica >= 0 else CONTROL_PLANE_PID
+    args = {"request": span.request_id}
+    args.update(span.attrs)
+    return {
+        "name": span.phase,
+        "cat": "request",
+        "ph": "X",
+        "ts": round(span.start * _US, 3),
+        "dur": round(max(span.end - span.start, 0.0) * _US, 3),
+        "pid": pid,
+        "tid": span.request_id,
+        "args": args,
+    }
+
+
+def _audit_event(record) -> dict:
+    pid = record.replica if record.replica >= 0 else CONTROL_PLANE_PID
+    args = {"component": record.component}
+    args.update(record.payload)
+    return {
+        "name": record.kind,
+        "cat": "audit",
+        "ph": "i",
+        "ts": round(record.time * _US, 3),
+        "pid": pid,
+        "tid": 0,
+        "s": "p",
+        "args": args,
+    }
+
+
+def perfetto_trace(obs: Observability) -> dict:
+    """Build the Chrome/Perfetto trace document for one run."""
+    obs.tracer.finalize()
+    events: list[dict] = []
+    pids = {
+        s.replica if s.replica >= 0 else CONTROL_PLANE_PID
+        for s in obs.tracer.spans
+    }
+    pids |= {
+        r.replica if r.replica >= 0 else CONTROL_PLANE_PID
+        for r in obs.tracer.records
+    }
+    for pid in sorted(pids):
+        name = "control-plane" if pid == CONTROL_PLANE_PID else f"replica-{pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    events.extend(_span_event(s) for s in obs.tracer.spans)
+    events.extend(_audit_event(r) for r in obs.tracer.records)
+    for metric, points in obs.metrics.series.items():
+        for t, v in points:
+            events.append(
+                {
+                    "name": metric,
+                    "cat": "telemetry",
+                    "ph": "C",
+                    "ts": round(t * _US, 3),
+                    "pid": CONTROL_PLANE_PID,
+                    "args": {metric: v},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_perfetto(doc: dict) -> list[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    An empty list means the document is a well-formed Chrome Trace Event
+    JSON object (the shape both tracing UIs accept).
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in {"M", "X", "i", "C", "B", "E"}:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: name must be a string")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: pid must be an int")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: dur must be a non-negative number")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            errors.append(f"{where}: counter event needs args")
+    return errors
+
+
+def export_perfetto(obs: Observability, path: str) -> dict:
+    """Write the Perfetto trace JSON; returns the document."""
+    doc = perfetto_trace(obs)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def export_jsonl(obs: Observability, path: str) -> int:
+    """Write one JSON object per line (spans, audits, samples).
+
+    Easier to grep/stream than the Perfetto form; ``load_export`` reads
+    both.  Returns the number of lines written.
+    """
+    obs.tracer.finalize()
+    lines = 0
+    with open(path, "w") as fh:
+        for span in obs.tracer.spans:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "request": span.request_id,
+                        "phase": span.phase,
+                        "start": span.start,
+                        "end": span.end,
+                        "replica": span.replica,
+                        "attrs": span.attrs,
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        for rec in obs.tracer.records:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "audit",
+                        "time": rec.time,
+                        "kind": rec.kind,
+                        "component": rec.component,
+                        "replica": rec.replica,
+                        "payload": rec.payload,
+                    }
+                )
+                + "\n"
+            )
+            lines += 1
+        for metric, points in obs.metrics.series.items():
+            for t, v in points:
+                fh.write(
+                    json.dumps(
+                        {"type": "sample", "time": t, "metric": metric, "value": v}
+                    )
+                    + "\n"
+                )
+                lines += 1
+    return lines
+
+
+def load_export(path: str) -> dict:
+    """Read a trace export (Perfetto JSON or JSONL) back into dicts.
+
+    Returns ``{"spans": [...], "audits": [...], "samples": {metric:
+    [(t, v), ...]}}`` with spans/audits in the JSONL field shapes.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        return _load_perfetto(json.loads(text))
+    spans: list[dict] = []
+    audits: list[dict] = []
+    samples: dict[str, list[tuple[float, float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "span":
+            spans.append(obj)
+        elif kind == "audit":
+            audits.append(obj)
+        elif kind == "sample":
+            samples.setdefault(obj["metric"], []).append(
+                (obj["time"], obj["value"])
+            )
+    return {"spans": spans, "audits": audits, "samples": samples}
+
+
+def _load_perfetto(doc: dict) -> dict:
+    spans: list[dict] = []
+    audits: list[dict] = []
+    samples: dict[str, list[tuple[float, float]]] = {}
+    for event in doc.get("traceEvents", []):
+        ph = event.get("ph")
+        if ph == "X":
+            args = dict(event.get("args", {}))
+            request = args.pop("request", event.get("tid"))
+            pid = event["pid"]
+            spans.append(
+                {
+                    "type": "span",
+                    "request": request,
+                    "phase": event["name"],
+                    "start": event["ts"] / _US,
+                    "end": (event["ts"] + event.get("dur", 0)) / _US,
+                    "replica": -1 if pid == CONTROL_PLANE_PID else pid,
+                    "attrs": args,
+                }
+            )
+        elif ph == "i":
+            args = dict(event.get("args", {}))
+            component = args.pop("component", "legacy")
+            pid = event["pid"]
+            audits.append(
+                {
+                    "type": "audit",
+                    "time": event["ts"] / _US,
+                    "kind": event["name"],
+                    "component": component,
+                    "replica": -1 if pid == CONTROL_PLANE_PID else pid,
+                    "payload": args,
+                }
+            )
+        elif ph == "C":
+            metric = event["name"]
+            value = event.get("args", {}).get(metric, 0.0)
+            samples.setdefault(metric, []).append((event["ts"] / _US, value))
+    spans.sort(key=lambda s: (s["start"], s["end"]))
+    audits.sort(key=lambda a: a["time"])
+    return {"spans": spans, "audits": audits, "samples": samples}

@@ -1,0 +1,160 @@
+"""The observability bundle and its control-tick samplers.
+
+:class:`Observability` packages the :class:`~repro.obs.tracer.Tracer`
+(spans + audit log) with a :class:`~repro.obs.telemetry.MetricsRegistry`
+and knows how to sample the standard fleet/server signals:
+
+* with a :class:`~repro.fleet.control.FleetController` running,
+  telemetry rides the existing control ticks (one sample per tick, on
+  the tick's clock — no extra events);
+* without one (single server, static route-once fleet), a standalone
+  repeating timer samples every ``telemetry_interval`` seconds and
+  disarms itself once the simulation has nothing else scheduled, so a
+  run still drains to idle.
+
+One ``Observability`` instance covers one run; attach a fresh one per
+run when comparing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Default sampling cadence, matching the fleet control interval.
+DEFAULT_TELEMETRY_INTERVAL = 0.5
+
+# Samples observe post-placement, post-server state at an instant —
+# same slot as the fleet control tick.
+_SAMPLE_PRIORITY = 9
+
+
+class Observability:
+    """Tracer + metrics registry + sampling glue for one run."""
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        telemetry_interval: float = DEFAULT_TELEMETRY_INTERVAL,
+    ) -> None:
+        if telemetry_interval <= 0:
+            raise ValueError(
+                f"telemetry interval must be positive, got {telemetry_interval}"
+            )
+        self.tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.telemetry_interval = telemetry_interval
+        # (time, cumulative generated tokens) at the previous sample —
+        # the finite difference behind the tokens/s gauge.
+        self._last_tokens: tuple[float, float] | None = None
+
+    # ------------------------------------------------------------------
+    # Samplers
+    # ------------------------------------------------------------------
+
+    def _tokens_per_s(self, now: float, total: float) -> float:
+        prev = self._last_tokens
+        self._last_tokens = (now, total)
+        if prev is None or now <= prev[0]:
+            return 0.0
+        return (total - prev[1]) / (now - prev[0])
+
+    def _sample_slack(self, active, now: float) -> None:
+        """Per-QoS-class mean deadline slack over in-flight requests."""
+        by_class: dict[str, list[float]] = {}
+        for request in active:
+            if request.deadline is not None:
+                cls = request.effective_qos or "default"
+                by_class.setdefault(cls, []).append(request.deadline - now)
+        for cls, slacks in by_class.items():
+            self.metrics.gauge(f"slack.{cls}").set(sum(slacks) / len(slacks))
+
+    def sample_fleet(self, replicas, now: float) -> None:
+        """One telemetry sample over a fleet's replica handles."""
+        metrics = self.metrics
+        queued = 0
+        outstanding = 0
+        batch = 0
+        tokens = 0.0
+        kv_frac = 0.0
+        active = []
+        for handle in replicas:
+            queued += len(handle.queued_requests())
+            outstanding += handle.outstanding_requests()
+            active.extend(r for r in handle._active if not r.finished)
+            kv_frac += handle.kv_used_fraction()
+            for b in getattr(handle.server, "decode_batches", None) or []:
+                batch += b.batch_size
+            tokens += sum(r.generated for r in handle.routed)
+        n = len(replicas) or 1
+        metrics.gauge("fleet.queue_depth").set(queued)
+        metrics.gauge("fleet.outstanding").set(outstanding)
+        metrics.gauge("fleet.kv_used_fraction").set(kv_frac / n)
+        metrics.gauge("fleet.batch_size").set(batch)
+        metrics.gauge("fleet.online_replicas").set(
+            sum(1 for r in replicas if r.online)
+        )
+        metrics.gauge("fleet.tokens_per_s").set(self._tokens_per_s(now, tokens))
+        self._sample_slack(active, now)
+        metrics.sample(now)
+
+    def sample_server(self, server, now: float) -> None:
+        """One telemetry sample over a single serving system."""
+        metrics = self.metrics
+        pending = getattr(server, "pending", None)
+        if pending is None:
+            pending = getattr(server, "waiting", None) or []
+        metrics.gauge("server.queue_depth").set(len(pending))
+        pool = getattr(server, "pool", None)
+        if pool is not None:
+            capacity = getattr(pool, "total_capacity", None)
+            free = getattr(pool, "total_free", None)
+            if capacity is None:
+                capacity, free = pool.capacity, pool.free
+            metrics.gauge("server.kv_used_fraction").set(
+                1.0 - free / capacity if capacity else 0.0
+            )
+        batch = sum(
+            b.batch_size for b in getattr(server, "decode_batches", None) or []
+        )
+        metrics.gauge("server.batch_size").set(batch)
+        tokens = float(
+            sum(r.generated for r in getattr(server, "_all_requests", ()))
+        )
+        metrics.gauge("server.tokens_per_s").set(self._tokens_per_s(now, tokens))
+        self._sample_slack(
+            (r for r in getattr(server, "_all_requests", ()) if not r.finished),
+            now,
+        )
+        metrics.sample(now)
+
+    # ------------------------------------------------------------------
+    # Standalone sampling timer (runs without a FleetController)
+    # ------------------------------------------------------------------
+
+    def arm_standalone_sampler(self, sim, sample) -> None:
+        """Sample every ``telemetry_interval`` while the sim has work.
+
+        ``sample`` is a ``(now) -> None`` callback (a bound
+        ``sample_fleet``/``sample_server`` partial).  The ticks are
+        *weak* events: a tick popped with nothing else queued is
+        discarded instead of run, so the sampler neither keeps a
+        drained simulation alive nor stretches the final clock (and
+        the makespan) past the last real event.
+        """
+        interval = self.telemetry_interval
+
+        def _tick() -> None:
+            sample(sim.now)
+            if sim.next_event_time() is not None:
+                sim.call_after(
+                    interval, _tick,
+                    priority=_SAMPLE_PRIORITY, label="telemetry-sample",
+                    weak=True,
+                )
+
+        sim.call_after(
+            interval, _tick, priority=_SAMPLE_PRIORITY,
+            label="telemetry-sample", weak=True,
+        )

@@ -1,0 +1,263 @@
+"""Request-lifecycle spans and the control-plane audit log.
+
+The :class:`Tracer` is the single sink every component writes into:
+
+* **Spans** — each request's life is a sequence of non-overlapping,
+  typed phase spans (``queued`` → ``prefill`` → ``decode`` →
+  ``preempted``/``migrating``/``failover`` → end).  Components call
+  :meth:`Tracer.transition` at each lifecycle edge; the tracer closes
+  the previous span and opens the next, so span context survives
+  steals, migrations, and failovers across replicas.
+* **Audit records** — structured control-plane decisions (router
+  choices with per-replica scores, autoscaler verdicts with the
+  pressure signals behind them, admission rejections, preemption
+  victims, fault injections) via :meth:`Tracer.audit`.
+
+Everything is gated on ``enabled``: call sites guard with
+``if tracer.enabled:`` *before* building payload kwargs, so the
+disabled tracer costs one attribute load per site and the default
+off-path reproduces prior builds bit for bit.
+
+This module is dependency-light on purpose (stdlib only): it is
+imported by ``repro.sim.trace`` for back-compat and must not pull in
+the simulator or server layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: The span taxonomy.  ``queued`` covers arrival → prefill launch (and
+#: re-queueing after a steal); ``preempted`` covers
+#: preemption-by-recomputation waits; ``migrating`` covers in-flight
+#: cross-replica KV handoffs (stolen requests with a priced delay);
+#: ``failover`` covers the gap between a replica crash and the orphan's
+#: re-dispatch landing somewhere new.
+SPAN_PHASES = (
+    "queued",
+    "prefill",
+    "decode",
+    "preempted",
+    "migrating",
+    "failover",
+)
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One structured control-plane decision.
+
+    Field names (``time``/``kind``/``payload``) match the old
+    ``TraceRecord`` so legacy call sites and tests keep working;
+    ``component`` and ``replica`` are the new structure.
+    """
+
+    time: float
+    kind: str
+    payload: dict
+    component: str = "legacy"
+    replica: int = -1
+
+    def __str__(self) -> str:
+        args = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[{self.time:10.4f}] {self.kind:<18} {args}"
+
+
+#: Back-compat alias: the old name for an audit record.
+TraceRecord = AuditRecord
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed phase span of one request's lifecycle."""
+
+    request_id: int
+    phase: str
+    start: float
+    end: float
+    replica: int = 0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class _OpenSpan:
+    """Mutable scratch for a span that has started but not ended."""
+
+    __slots__ = ("phase", "start", "replica", "attrs")
+
+    def __init__(self, phase: str, start: float, replica: int, attrs: dict) -> None:
+        self.phase = phase
+        self.start = start
+        self.replica = replica
+        self.attrs = attrs
+
+
+class Tracer:
+    """Unified span + audit sink with a cheap ``enabled`` fast-path.
+
+    All mutating methods are no-ops when ``enabled`` is False, but hot
+    call sites must still guard *before* constructing payload kwargs —
+    the guard is what keeps the off-path free.
+    """
+
+    __slots__ = ("enabled", "records", "spans", "_open")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[AuditRecord] = []
+        self.spans: list[Span] = []
+        self._open: dict[int, _OpenSpan] = {}
+
+    # ------------------------------------------------------------------
+    # Audit log
+    # ------------------------------------------------------------------
+
+    def audit(
+        self,
+        time: float,
+        kind: str,
+        *,
+        component: str = "server",
+        replica: int = -1,
+        **payload,
+    ) -> None:
+        """Append one structured control-plane decision."""
+        if not self.enabled:
+            return
+        self.records.append(
+            AuditRecord(
+                time=time,
+                kind=kind,
+                payload=payload,
+                component=component,
+                replica=replica,
+            )
+        )
+
+    def record(self, time: float, kind: str, **payload) -> None:
+        """Legacy ``TraceRecorder.record`` API (component "legacy")."""
+        if not self.enabled:
+            return
+        self.records.append(AuditRecord(time=time, kind=kind, payload=payload))
+
+    # ------------------------------------------------------------------
+    # Request-lifecycle spans
+    # ------------------------------------------------------------------
+
+    def transition(
+        self,
+        request_id: int,
+        phase: str,
+        now: float,
+        replica: int = 0,
+        **attrs,
+    ) -> None:
+        """Close ``request_id``'s open span and start a ``phase`` one.
+
+        A transition into the *same* phase on the *same* replica merges
+        into the open span (its attrs are updated in place) rather than
+        fragmenting the timeline; moving replicas always splits, so a
+        stolen request's ``queued`` time is attributed to each host
+        separately.
+        """
+        if not self.enabled:
+            return
+        open_span = self._open.get(request_id)
+        if open_span is not None:
+            if open_span.phase == phase and open_span.replica == replica:
+                if attrs:
+                    open_span.attrs.update(attrs)
+                return
+            self._close(request_id, open_span, now)
+        self._open[request_id] = _OpenSpan(phase, now, replica, attrs)
+
+    def end_span(self, request_id: int, now: float, **attrs) -> None:
+        """Close the request's open span (request finished/aborted)."""
+        if not self.enabled:
+            return
+        open_span = self._open.pop(request_id, None)
+        if open_span is not None:
+            if attrs:
+                open_span.attrs.update(attrs)
+            self.spans.append(
+                Span(
+                    request_id=request_id,
+                    phase=open_span.phase,
+                    start=open_span.start,
+                    end=now,
+                    replica=open_span.replica,
+                    attrs=open_span.attrs,
+                )
+            )
+
+    def _close(self, request_id: int, open_span: _OpenSpan, now: float) -> None:
+        self.spans.append(
+            Span(
+                request_id=request_id,
+                phase=open_span.phase,
+                start=open_span.start,
+                end=now,
+                replica=open_span.replica,
+                attrs=open_span.attrs,
+            )
+        )
+
+    def finalize(self, now: float | None = None) -> None:
+        """Close any still-open spans (e.g. requests alive at shutdown).
+
+        Synthesised ends are tagged ``open=True`` so exports and
+        invariant checks can tell them apart from real completions.
+        """
+        if not self._open:
+            return
+        if now is None:
+            horizon = max(
+                [s.start for s in self._open.values()]
+                + [s.end for s in self.spans]
+                + [r.time for r in self.records]
+                or [0.0]
+            )
+        else:
+            horizon = now
+        for request_id, open_span in sorted(self._open.items()):
+            open_span.attrs["open"] = True
+            self._close(request_id, open_span, max(horizon, open_span.start))
+        self._open.clear()
+
+    # ------------------------------------------------------------------
+    # Queries (superset of the old TraceRecorder API)
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[AuditRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def kinds(self) -> set[str]:
+        return {r.kind for r in self.records}
+
+    def between(self, start: float, end: float) -> list[AuditRecord]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def spans_for(self, request_id: int) -> list[Span]:
+        """The request's closed spans, in timeline order."""
+        spans = [s for s in self.spans if s.request_id == request_id]
+        spans.sort(key=lambda s: (s.start, s.end))
+        return spans
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable audit tail (legacy format, kept stable)."""
+        lines = []
+        for rec in self.records[-limit:]:
+            args = " ".join(f"{k}={v}" for k, v in rec.payload.items())
+            lines.append(f"[{rec.time:10.4f}] {rec.kind:<18} {args}")
+        return "\n".join(lines)

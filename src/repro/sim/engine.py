@@ -45,11 +45,17 @@ class Simulator:
         action: Callable[[], None],
         priority: int = 0,
         label: str = "",
+        weak: bool = False,
     ) -> Timer:
-        """Schedule ``action`` at absolute virtual time ``time``."""
+        """Schedule ``action`` at absolute virtual time ``time``.
+
+        ``weak`` events are pure observers: one popped with no other
+        live event remaining is discarded instead of run, so it neither
+        advances the clock nor keeps the run alive.
+        """
         if time < self._now:
             raise ValueError(f"cannot schedule at {time:.6f}, clock is at {self._now:.6f}")
-        event = self._queue.push(time, action, priority=priority, label=label)
+        event = self._queue.push(time, action, priority=priority, label=label, weak=weak)
         return Timer(event=event, queue=self._queue)
 
     def call_after(
@@ -58,11 +64,14 @@ class Simulator:
         action: Callable[[], None],
         priority: int = 0,
         label: str = "",
+        weak: bool = False,
     ) -> Timer:
         """Schedule ``action`` after a relative delay."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.call_at(self._now + delay, action, priority=priority, label=label)
+        return self.call_at(
+            self._now + delay, action, priority=priority, label=label, weak=weak
+        )
 
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""
@@ -92,6 +101,11 @@ class Simulator:
                 # Cancelled timers are lazily discarded: they neither run
                 # nor consume the caller's event budget, so a timer-heavy
                 # trace cannot exhaust ``run_until_idle`` on no-ops.
+                continue
+            if event.weak and queue.peek_time() is None:
+                # A trailing weak event (pure observer with nothing left
+                # to observe) is discarded like a cancelled one: the
+                # clock stays at the last real event.
                 continue
             self._now = event.time
             event.action()

@@ -26,7 +26,10 @@ class Event:
     hard requirement for reproducible experiments.
     """
 
-    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "popped")
+    __slots__ = (
+        "time", "priority", "seq", "action", "label", "cancelled", "popped",
+        "weak",
+    )
 
     def __init__(
         self,
@@ -35,6 +38,7 @@ class Event:
         seq: int,
         action: Callable[[], None],
         label: str = "",
+        weak: bool = False,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -43,6 +47,11 @@ class Event:
         self.label = label
         self.cancelled = False
         self.popped = False
+        # A weak event runs only if another live event remains queued:
+        # popped last, it is discarded without advancing the clock, so
+        # pure observers (telemetry samplers) never stretch a run's
+        # makespan past its final real event.
+        self.weak = weak
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("popped" if self.popped else "live")
@@ -75,10 +84,11 @@ class EventQueue:
         action: Callable[[], None],
         priority: int = 0,
         label: str = "",
+        weak: bool = False,
     ) -> Event:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        event = Event(time, priority, next(self._counter), action, label)
+        event = Event(time, priority, next(self._counter), action, label, weak)
         heapq.heappush(self._heap, (time, priority, event.seq, event))
         return event
 

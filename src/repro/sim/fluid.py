@@ -220,10 +220,13 @@ class FluidStepper:
                     start_time=now,
                 )
             )
-            server.trace.record(
-                now, "fluid_window",
-                batch=batch.batch_id, iterations=n, duration=round(duration, 4),
-            )
+            if server.trace.enabled:
+                server.trace.audit(
+                    now, "fluid_window", component="scheduler",
+                    replica=getattr(server, "obs_replica", 0),
+                    batch=batch.batch_id, iterations=n,
+                    duration=round(duration, 4),
+                )
             # Snapshot membership: requests joining at exactly the
             # window-end timestamp (a prefill completing there) must not
             # be credited with this window's tokens.

@@ -1,55 +1,28 @@
-"""Structured trace recording for simulation runs.
+"""Back-compat shim over the unified observability tracer.
 
-Experiments need post-hoc visibility into what the scheduler did —
-iteration boundaries, scaling actions, preemptions — without the serving
-loop printf-ing.  ``TraceRecorder`` collects typed records cheaply and
-renders them on demand.
+``TraceRecorder`` grew into :class:`repro.obs.tracer.Tracer` — spans,
+structured audit records, and the cheap ``enabled`` fast-path.  This
+module keeps the old import path and constructor working: a
+``TraceRecorder`` *is* a ``Tracer`` (audit records land in the same
+``records`` list with the legacy ``TraceRecord`` shape), so existing
+call sites, tests, and examples keep working unchanged while new code
+imports from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from repro.obs.tracer import AuditRecord, Tracer
+
+#: The old record type is the new audit record (field-compatible).
+TraceRecord = AuditRecord
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    time: float
-    kind: str
-    payload: dict[str, Any]
+class TraceRecorder(Tracer):
+    """Legacy name + constructor signature for the unified tracer."""
 
-
-@dataclass
-class TraceRecorder:
-    """Append-only event trace with filtering helpers."""
-
-    enabled: bool = True
-    records: list[TraceRecord] = field(default_factory=list)
-
-    def record(self, time: float, kind: str, **payload: Any) -> None:
-        if not self.enabled:
-            return
-        self.records.append(TraceRecord(time=time, kind=kind, payload=payload))
-
-    def of_kind(self, kind: str) -> list[TraceRecord]:
-        return [r for r in self.records if r.kind == kind]
-
-    def kinds(self) -> set[str]:
-        return {r.kind for r in self.records}
-
-    def between(self, start: float, end: float) -> list[TraceRecord]:
-        return [r for r in self.records if start <= r.time < end]
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def render(self, limit: int = 50) -> str:
-        """Human-readable tail of the trace."""
-        lines = []
-        for record in self.records[-limit:]:
-            fields = " ".join(f"{k}={v}" for k, v in record.payload.items())
-            lines.append(f"[{record.time:10.4f}] {record.kind:<18} {fields}")
-        return "\n".join(lines)
+    def __init__(
+        self, enabled: bool = True, records: list[AuditRecord] | None = None
+    ) -> None:
+        super().__init__(enabled=enabled)
+        if records is not None:
+            self.records = records

@@ -245,7 +245,10 @@ class ServeResult:
     ``cache_stats`` is populated (as a plain counter dict) by servers
     running with a prefix-KV cache; ``None`` otherwise.  ``qos_stats``
     is the per-class admission/preemption ledger (class name -> counter
-    dict) written by QoS-armed servers; ``None`` otherwise.
+    dict) written by QoS-armed servers; ``None`` otherwise.  ``obs``
+    carries the run's :class:`repro.obs.observe.Observability` bundle
+    (spans, audit log, telemetry) when one was attached; ``None`` keeps
+    observability-off runs byte-identical to prior builds.
     """
 
     system: str
@@ -256,6 +259,7 @@ class ServeResult:
     aborted: list[Request] = field(default_factory=list)
     cache_stats: dict[str, float] | None = None
     qos_stats: dict[str, dict[str, float]] | None = None
+    obs: object | None = None
 
     @property
     def finished_requests(self) -> list[Request]:

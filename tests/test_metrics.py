@@ -215,3 +215,28 @@ class TestSummaries:
     def test_histogram_rejects_bad_bin(self):
         with pytest.raises(ValueError):
             scale_event_histogram([], "scale_up", bin_seconds=0.0)
+
+    def test_histogram_empty_without_until_is_empty(self):
+        assert scale_event_histogram([], "scale_up") == []
+
+    def test_histogram_clamps_event_at_horizon(self):
+        # An event exactly on the horizon lands in the last bin instead
+        # of indexing one past it.
+        events = [
+            ScalingEvent(time=20.0, kind="scale_up",
+                         group_before=(0,), group_after=(0, 1))
+        ]
+        assert scale_event_histogram(events, "scale_up", bin_seconds=10.0) == [0, 1]
+        assert scale_event_histogram(
+            events, "scale_up", bin_seconds=10.0, until=15.0
+        ) == [0, 1]
+
+    def test_throughput_counts_only_finished(self):
+        unfinished = make_request(input_len=50, output_len=10)
+        result = ServeResult(
+            system="x",
+            requests=[finished_request(input_len=90, output_len=10), unfinished],
+            makespan=10.0,
+        )
+        assert throughput_tokens_per_s(result) == pytest.approx(10.0)
+        assert request_throughput(result) == pytest.approx(0.1)

@@ -1,0 +1,161 @@
+"""Span invariants under chaos: steal + migration + crash schedules.
+
+Hypothesis drives crash plans against small real fleet runs with the
+full observability stack armed, asserting the lifecycle-span invariants
+that must hold under *any* schedule:
+
+* **Taxonomy** — every span's phase is in :data:`SPAN_PHASES` and every
+  span has ``end >= start``.
+* **Ordering** — each request's spans are non-overlapping and
+  chronologically ordered (the tracer closes one phase before opening
+  the next, even as the request hops replicas through steals and
+  failovers).
+* **Birth** — every traced request's first span is ``queued`` (all
+  lifecycles begin at arrival on some replica).
+* **Coverage** — every request of the trace has at least one span, and
+  a finished run leaves no span open (``finalize`` tagged none).
+* **Ledger coherence** — the audit log's crash count matches the
+  injector's, and every steal audit pairs src/dst replicas that exist.
+
+The ``CI=1`` profile (tests/conftest.py) derandomizes all of this.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.systems import make_fleet
+from repro.fleet import FaultPlan, ReplicaFault
+from repro.obs import Observability, SPAN_PHASES
+from repro.sessions import make_session_trace
+from repro.workloads.datasets import SHAREGPT
+from repro.workloads.trace_gen import clone_requests, make_trace
+
+REPLICAS = 3
+MIXED_TRACE = make_trace(SHAREGPT, rate=8.0, num_requests=14, seed=33)
+SESSION_TRACE = make_session_trace(rate=4.0, num_sessions=4, seed=34)
+
+fault_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=8.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=REPLICAS - 1),
+        st.floats(min_value=0.5, max_value=5.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def assert_span_invariants(trace, obs) -> None:
+    tracer = obs.tracer
+    assert not tracer._open, "finalize left spans open"
+    for span in tracer.spans:
+        assert span.phase in SPAN_PHASES
+        assert span.end >= span.start
+    traced = {s.request_id for s in tracer.spans}
+    assert traced == {r.request_id for r in trace}
+    for request in trace:
+        spans = tracer.spans_for(request.request_id)
+        assert spans[0].phase == "queued", (
+            f"request {request.request_id} was born in {spans[0].phase!r}"
+        )
+        for prev, nxt in zip(spans, spans[1:]):
+            assert prev.end <= nxt.start + 1e-9, (
+                f"request {request.request_id}: {prev.phase} "
+                f"[{prev.start}, {prev.end}] overlaps {nxt.phase} "
+                f"[{nxt.start}, {nxt.end}]"
+            )
+        # A finished run closes every lifecycle for real: no span was
+        # synthesised shut by finalize.
+        assert not any(s.attrs.get("open") for s in spans)
+
+
+def assert_audit_coherence(fleet, obs, num_replicas) -> None:
+    tracer = obs.tracer
+    injector = fleet.policy.injector
+    if injector is not None:
+        assert len(tracer.of_kind("crash")) == len(injector.injected)
+        assert len(tracer.of_kind("crash_skipped")) == len(injector.skipped)
+    for steal in tracer.of_kind("steal"):
+        assert 0 <= steal.payload["src"] < num_replicas
+        assert 0 <= steal.payload["dst"] < num_replicas
+        assert steal.payload["src"] != steal.payload["dst"]
+    for route in tracer.of_kind("route"):
+        assert route.component == "router"
+        assert len(route.payload["scores"]) >= 1
+
+
+class TestSpanChaosInvariants:
+    @given(specs=fault_specs)
+    @settings(max_examples=10, deadline=None)
+    def test_spans_survive_any_crash_schedule(self, specs):
+        """Steal + failover under arbitrary crashes: every request's
+        span timeline stays ordered, typed, and complete."""
+        plan = FaultPlan(
+            [ReplicaFault(time=t, replica_id=r, downtime_s=d)
+             for t, r, d in specs]
+        )
+        fleet = make_fleet(
+            "loongserve", replicas=REPLICAS, router="round-robin",
+            requests=MIXED_TRACE, num_gpus=4, steal=True, faults=plan,
+        )
+        obs = Observability()
+        fleet.observe(obs)
+        result = fleet.run(clone_requests(MIXED_TRACE))
+        assert len(result.finished_requests) == len(MIXED_TRACE)
+        assert_span_invariants(MIXED_TRACE, obs)
+        assert_audit_coherence(fleet, obs, REPLICAS)
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=6, deadline=None)
+    def test_spans_with_migration_and_poisson_faults(self, seed):
+        """The full stack — affinity routing, prefix caches, stealing,
+        KV migration, autoscaling, stochastic crashes — keeps span
+        context intact across every cross-replica handoff."""
+        horizon = max(r.arrival_time for r in SESSION_TRACE)
+        plan = FaultPlan.poisson(
+            num_replicas=2, horizon_s=horizon, mtbf_s=horizon / 1.5,
+            seed=seed, downtime_s=2.0,
+        )
+        fleet = make_fleet(
+            "loongserve", replicas=2, router="affinity",
+            requests=SESSION_TRACE, num_gpus=4, prefix_cache=True,
+            autoscale=True, steal=True, migrate_kv=True,
+            faults=plan if plan else None,
+        )
+        obs = Observability()
+        fleet.observe(obs)
+        result = fleet.run(clone_requests(SESSION_TRACE))
+        assert len(result.finished_requests) == len(SESSION_TRACE)
+        assert_span_invariants(SESSION_TRACE, obs)
+        assert_audit_coherence(fleet, obs, 2)
+        # Telemetry rode the control ticks one-for-one.
+        assert len(obs.metrics.sample_times) == result.elastic.control_ticks
+
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=5, deadline=None)
+    def test_observing_chaos_changes_nothing(self, seed):
+        """One seed, observed and unobserved runs: identical outcomes —
+        the tracer must stay a pure observer under any schedule."""
+        plan = FaultPlan.poisson(
+            num_replicas=REPLICAS, horizon_s=5.0, mtbf_s=4.0,
+            seed=seed, downtime_s=2.0,
+        )
+        outcomes = []
+        for observe in (False, True):
+            fleet = make_fleet(
+                "loongserve", replicas=REPLICAS, router="round-robin",
+                requests=MIXED_TRACE, num_gpus=4, steal=True,
+                faults=plan if plan else None,
+            )
+            if observe:
+                fleet.observe(Observability())
+            result = fleet.run(clone_requests(MIXED_TRACE))
+            outcomes.append(
+                sorted(
+                    (r.request_id, round(r.finish_time, 12), r.generated)
+                    for r in result.finished_requests
+                )
+            )
+        assert outcomes[0] == outcomes[1]

@@ -248,3 +248,43 @@ class TestTraceRecorder:
         trace = TraceRecorder()
         trace.record(1.0, "scale_up", batch=3)
         assert "scale_up" in trace.render()
+
+
+class TestWeakEvents:
+    """Weak events: pure observers that never stretch the clock."""
+
+    def test_trailing_weak_event_is_discarded(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: fired.append("real"))
+        sim.call_at(2.0, lambda: fired.append("weak"), weak=True)
+        end = sim.run_until_idle()
+        assert fired == ["real"]
+        assert end == 1.0  # the weak tail never advanced the clock
+        assert sim.events_processed == 1
+
+    def test_weak_event_runs_when_work_remains(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: fired.append("weak"), weak=True)
+        sim.call_at(2.0, lambda: fired.append("real"))
+        sim.run_until_idle()
+        assert fired == ["weak", "real"]
+        assert sim.now == 2.0
+
+    def test_weak_chain_stops_at_last_real_event(self):
+        """A self-re-arming weak timer (the telemetry sampler pattern)
+        samples through the run but leaves the final clock untouched."""
+        sim = Simulator()
+        samples = []
+
+        def tick():
+            samples.append(sim.now)
+            if sim.next_event_time() is not None:
+                sim.call_after(1.0, tick, weak=True)
+
+        sim.call_after(1.0, tick, weak=True)
+        sim.call_at(3.5, lambda: None)
+        end = sim.run_until_idle()
+        assert samples == [1.0, 2.0, 3.0]
+        assert end == 3.5
