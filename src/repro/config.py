@@ -49,6 +49,12 @@ class SchedulerConfig:
     approximation (``repro.sim.fluid``), falling back to discrete events
     on any transient.  Aggregate metrics agree within tolerance but
     per-event traces differ — golden-signature gates require discrete.
+
+    ``fluid_min_iterations`` / ``fluid_max_window_s`` — hybrid-mode
+    window shape: the per-batch average iteration count below which a
+    window is not worth its bookkeeping (the discrete path runs
+    instead), and the wall-clock cap bounding how long batch membership
+    and master sets stay frozen.  Ignored in discrete mode.
     """
 
     decode_compute_bound_bs: int = 128
@@ -63,11 +69,21 @@ class SchedulerConfig:
     sib_refresh_interval: int = 512
     scheduling_overhead_s: float = 0.0005
     sim_mode: str = "discrete"
+    fluid_min_iterations: int = 4
+    fluid_max_window_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.sim_mode not in ("discrete", "hybrid"):
             raise ValueError(
                 f"sim_mode must be 'discrete' or 'hybrid', got {self.sim_mode!r}"
+            )
+        if self.fluid_min_iterations < 1:
+            raise ValueError(
+                f"fluid_min_iterations must be >= 1, got {self.fluid_min_iterations}"
+            )
+        if self.fluid_max_window_s <= 0:
+            raise ValueError(
+                f"fluid_max_window_s must be positive, got {self.fluid_max_window_s}"
             )
 
 

@@ -99,6 +99,11 @@ class LoongServeServer:
         self._decode_latency_count = 0
         self._tick_pending = False
         self._all_requests: list[Request] = []
+        # Exact running sum of ``generated`` over ``_all_requests``,
+        # maintained at every token-credit site so telemetry samplers
+        # read throughput in O(1) instead of scanning the whole trace
+        # each control tick (the dominant tracing-on overhead pre-PR 8).
+        self._generated_total = 0
         # Hot-path caches: request ids already proven to fit the cluster
         # (capacity is fixed, so the per-tick feasibility scan memoises),
         # and the requests currently in the PREFILLING state (maintained
@@ -111,7 +116,11 @@ class LoongServeServer:
         # stretches advance in closed form.  None in the default
         # "discrete" mode keeps that path bit-identical.
         self._fluid = (
-            FluidStepper(self)
+            FluidStepper(
+                self,
+                min_iterations=config.scheduler.fluid_min_iterations,
+                max_window_s=config.scheduler.fluid_max_window_s,
+            )
             if config.scheduler.sim_mode == "hybrid"
             else None
         )
@@ -135,6 +144,7 @@ class LoongServeServer:
         """
         self._reset()
         self._all_requests = list(requests)
+        self._generated_total = sum(r.generated for r in requests)
         # Consecutive requests sharing a timestamp arrive as one event.
         # Behaviour is identical to per-request events — same pending
         # order, and the coalesced tick already ran once per timestamp —
@@ -227,6 +237,7 @@ class LoongServeServer:
     def submit(self, request: Request) -> None:
         """External enqueue from a dispatcher (e.g. a fleet router)."""
         self._all_requests.append(request)
+        self._generated_total += request.generated
         self.pending.append(request)
         self._unvetted.append(request)
         if self.trace.enabled:
@@ -258,6 +269,7 @@ class LoongServeServer:
         lost_tokens = self.pool.total_used
         orphans = [r for r in self._all_requests if not r.finished]
         self._all_requests = [r for r in self._all_requests if r.finished]
+        self._generated_total -= sum(r.generated for r in orphans)
         if self.trace.enabled:
             now = self.sim.now
             for request in orphans:
@@ -729,6 +741,7 @@ class LoongServeServer:
         for request in task.requests:
             self._prefilling.pop(request.request_id, None)
             request.generated += 1  # the prefill emits the first output token
+            self._generated_total += 1
             request.prefill_end = now
             request.record_first_token(now)
             if request.generated >= request.output_len:
@@ -1010,6 +1023,7 @@ class LoongServeServer:
             return
         for request in list(batch.requests):
             request.generated += 1
+            self._generated_total += 1
             if request.generated >= request.output_len:
                 self._finish_request(request)
                 continue
@@ -1030,6 +1044,7 @@ class LoongServeServer:
                 self.pool.extend(request.request_id, target, 1)
             else:
                 request.generated -= 1  # token could not be retained
+                self._generated_total -= 1
                 self._preempt_request(request, batch)
         batch.remove_finished()
         batch.running = False

@@ -199,6 +199,9 @@ def make_fleet(
     qos: bool = False,
     admission: bool = False,
     autoscale_predictive: bool = False,
+    sim_mode: str = "discrete",
+    sharded: bool = True,
+    fluid_max_window_s: float | None = None,
     **router_kwargs,
 ):
     """Build a fleet of identical replicas under a cluster policy.
@@ -233,6 +236,14 @@ def make_fleet(
     the replicas' cost model), and ``autoscale_predictive`` swaps the
     reactive autoscaler for the forecast-driven one.  All off = the
     bit-identical pre-QoS fleet.
+
+    ``sim_mode="hybrid"`` arms every replica's fluid stepper (windows
+    engage per replica, bounded by the replica's local event horizon —
+    including the next control tick); ``fluid_max_window_s`` caps window
+    length (shorter windows track the discrete schedule tighter at the
+    cost of more window launches).  ``sharded=False`` funnels every
+    replica through one shared event heap (the pre-PR-8 layout; the
+    sharded default is bit-identical and faster).
     """
     from repro.fleet import (
         DEFAULT_CONTROL_INTERVAL,
@@ -272,7 +283,8 @@ def make_fleet(
     servers = [
         make_system(system, requests=requests, num_gpus=num_gpus,
                     gpus_per_node=gpus_per_node, prefix_cache=prefix_cache,
-                    qos=qos, admission=admission)
+                    qos=qos, admission=admission, sim_mode=sim_mode,
+                    fluid_max_window_s=fluid_max_window_s)
         for _ in range(replicas)
     ]
     migrator = None
@@ -317,6 +329,7 @@ def make_fleet(
         control_interval=(
             DEFAULT_CONTROL_INTERVAL if control_interval is None else control_interval
         ),
+        sharded=sharded,
     )
 
 
@@ -328,6 +341,8 @@ def make_system(
     prefix_cache: bool = False,
     qos: bool = False,
     admission: bool = False,
+    sim_mode: str = "discrete",
+    fluid_max_window_s: float | None = None,
 ):
     """Build any evaluated system by its paper name.
 
@@ -351,11 +366,23 @@ def make_system(
         raise ValueError(
             f"QoS scheduling is only supported on LoongServe systems, not {name!r}"
         )
-    cached_scheduler = SchedulerConfig(enable_prefix_cache=True)
+    if sim_mode != "discrete" and name != "loongserve":
+        raise ValueError(
+            f"sim_mode={sim_mode!r} (the fluid stepper) is only supported on "
+            f"the 'loongserve' system, not {name!r}"
+        )
+    scheduler = None
+    if prefix_cache or sim_mode != "discrete":
+        kwargs = {}
+        if fluid_max_window_s is not None:
+            kwargs["fluid_max_window_s"] = fluid_max_window_s
+        scheduler = SchedulerConfig(
+            enable_prefix_cache=prefix_cache, sim_mode=sim_mode, **kwargs
+        )
     builders = {
         "loongserve": lambda: build_loongserve(
             num_gpus=num_gpus, gpus_per_node=gpus_per_node,
-            scheduler=cached_scheduler if prefix_cache else None,
+            scheduler=scheduler,
         ),
         "loongserve-no-scaleup": lambda: build_no_scale_up_loongserve(
             num_gpus=num_gpus, gpus_per_node=gpus_per_node,

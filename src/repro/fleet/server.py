@@ -99,8 +99,10 @@ class ReplicaHandle:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def prepare(self, sim: Simulator) -> None:
-        """Reset the replica and attach it to the shared clock."""
+    def prepare(self, sim) -> None:
+        """Reset the replica and attach it to the shared clock (a
+        :class:`Simulator`, or one replica's ``ShardClock`` view of it
+        when the fleet runs sharded calendars)."""
         reset = getattr(self.server, "_reset", None)
         if callable(reset):
             reset()
@@ -430,6 +432,7 @@ class FleetServer:
         name: str | None = None,
         policy: ClusterPolicy | None = None,
         control_interval: float = DEFAULT_CONTROL_INTERVAL,
+        sharded: bool = True,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -441,11 +444,18 @@ class FleetServer:
         self.policy = policy if policy is not None else ClusterPolicy(router)
         self.router = self.policy.router  # back-compat alias
         self.control_interval = control_interval
+        # Sharded calendars: each replica schedules on its own event
+        # queue (bit-identical to the shared heap — same tie-break
+        # order); the control plane keeps the simulator's own queue.
+        self.sharded = sharded
         base = getattr(replicas[0], "name", type(replicas[0]).__name__)
         self.name = name or f"{base} x{len(replicas)} [{self.policy.name}]"
         self._remaining_arrivals = 0
         self._controller: FleetController | None = None
         self._obs = None
+        # The most recent run's simulator (events_processed, final
+        # clock) — benchmark instrumentation; None before the first run.
+        self.last_sim = None
 
     def observe(self, obs) -> None:
         """Attach an :class:`~repro.obs.observe.Observability` bundle.
@@ -472,9 +482,10 @@ class FleetServer:
 
     def _serve(self, requests: list[Request], driver) -> FleetResult:
         sim = Simulator()
+        self.last_sim = sim
         self.policy.reset()
         for handle in self.replicas:
-            handle.prepare(sim)
+            handle.prepare(sim.create_shard() if self.sharded else sim)
         obs = self._obs
         self.policy.tracer = obs.tracer if obs is not None else None
         if obs is not None:

@@ -48,6 +48,11 @@ class Observability:
         # (time, cumulative generated tokens) at the previous sample —
         # the finite difference behind the tokens/s gauge.
         self._last_tokens: tuple[float, float] | None = None
+        # Per-server high-water marks into the append-only ``finished``
+        # lists: each control tick feeds only the newly finished
+        # requests into the latency histograms.  Keyed by id(server) —
+        # one Observability covers one run, so ids are stable.
+        self._finished_cursors: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Samplers
@@ -70,6 +75,35 @@ class Observability:
         for cls, slacks in by_class.items():
             self.metrics.gauge(f"slack.{cls}").set(sum(slacks) / len(slacks))
 
+    def _observe_latencies(self, server, prefix: str) -> None:
+        """Feed newly finished requests into the latency histograms.
+
+        ``finished`` is append-only (it even survives a replica crash),
+        so a cursor per server makes each tick O(newly finished): TTFT
+        as first-token minus arrival, and the mean per-token decode
+        latency for requests that decoded past their first token.
+        """
+        finished = getattr(server, "finished", None)
+        if finished is None:
+            return
+        start = self._finished_cursors.get(id(server), 0)
+        end = len(finished)
+        if end <= start:
+            return
+        ttft = self.metrics.histogram(f"{prefix}.ttft")
+        per_token = self.metrics.histogram(f"{prefix}.per_token_latency")
+        for i in range(start, end):
+            request = finished[i]
+            first = request.first_token_time
+            if first is None:
+                continue
+            ttft.observe(first - request.arrival_time)
+            if request.generated > 1 and request.finish_time is not None:
+                per_token.observe(
+                    (request.finish_time - first) / (request.generated - 1)
+                )
+        self._finished_cursors[id(server)] = end
+
     def sample_fleet(self, replicas, now: float) -> None:
         """One telemetry sample over a fleet's replica handles."""
         metrics = self.metrics
@@ -86,7 +120,11 @@ class Observability:
             kv_frac += handle.kv_used_fraction()
             for b in getattr(handle.server, "decode_batches", None) or []:
                 batch += b.batch_size
-            tokens += sum(r.generated for r in handle.routed)
+            generated = getattr(handle.server, "_generated_total", None)
+            if generated is None:  # non-LoongServe replica shapes
+                generated = sum(r.generated for r in handle.routed)
+            tokens += generated
+            self._observe_latencies(handle.server, "fleet")
         n = len(replicas) or 1
         metrics.gauge("fleet.queue_depth").set(queued)
         metrics.gauge("fleet.outstanding").set(outstanding)
@@ -119,15 +157,34 @@ class Observability:
             b.batch_size for b in getattr(server, "decode_batches", None) or []
         )
         metrics.gauge("server.batch_size").set(batch)
-        tokens = float(
-            sum(r.generated for r in getattr(server, "_all_requests", ()))
-        )
-        metrics.gauge("server.tokens_per_s").set(self._tokens_per_s(now, tokens))
-        self._sample_slack(
-            (r for r in getattr(server, "_all_requests", ()) if not r.finished),
-            now,
-        )
+        tokens = getattr(server, "_generated_total", None)
+        if tokens is None:  # non-LoongServe server shapes keep the scan
+            tokens = sum(r.generated for r in getattr(server, "_all_requests", ()))
+        metrics.gauge("server.tokens_per_s").set(self._tokens_per_s(now, float(tokens)))
+        self._sample_slack(self._live_requests(server, pending), now)
+        self._observe_latencies(server, "server")
         metrics.sample(now)
+
+    @staticmethod
+    def _live_requests(server, pending):
+        """In-flight requests in O(live): queued + prefilling + decoding.
+
+        The three sources are disjoint and cover every unfinished,
+        unaborted request, so the slack sample matches the old
+        whole-trace scan without touching requests that already left
+        the system.  Servers without the incremental bookkeeping fall
+        back to that scan.
+        """
+        prefilling = getattr(server, "_prefilling", None)
+        if prefilling is None:
+            return (
+                r for r in getattr(server, "_all_requests", ()) if not r.finished
+            )
+        live = list(pending)
+        live.extend(prefilling.values())
+        for batch in getattr(server, "decode_batches", None) or []:
+            live.extend(batch.requests)
+        return live
 
     # ------------------------------------------------------------------
     # Standalone sampling timer (runs without a FleetController)

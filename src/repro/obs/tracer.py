@@ -25,7 +25,6 @@ the simulator or server layers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterator
 
 #: The span taxonomy.  ``queued`` covers arrival → prefill launch (and
@@ -44,20 +43,39 @@ SPAN_PHASES = (
 )
 
 
-@dataclass(frozen=True)
 class AuditRecord:
     """One structured control-plane decision.
 
     Field names (``time``/``kind``/``payload``) match the old
     ``TraceRecord`` so legacy call sites and tests keep working;
-    ``component`` and ``replica`` are the new structure.
+    ``component`` and ``replica`` are the new structure.  A plain
+    ``__slots__`` class rather than a dataclass: tracing-on runs mint
+    one of these per control decision, and the slotted five-store
+    ``__init__`` is a measurable cut over the generated dataclass one.
     """
 
-    time: float
-    kind: str
-    payload: dict
-    component: str = "legacy"
-    replica: int = -1
+    __slots__ = ("time", "kind", "payload", "component", "replica")
+
+    def __init__(
+        self,
+        time: float,
+        kind: str,
+        payload: dict,
+        component: str = "legacy",
+        replica: int = -1,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.payload = payload
+        self.component = component
+        self.replica = replica
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AuditRecord(time={self.time!r}, kind={self.kind!r}, "
+            f"payload={self.payload!r}, component={self.component!r}, "
+            f"replica={self.replica})"
+        )
 
     def __str__(self) -> str:
         args = " ".join(f"{k}={v}" for k, v in self.payload.items())
@@ -68,16 +86,37 @@ class AuditRecord:
 TraceRecord = AuditRecord
 
 
-@dataclass(frozen=True)
 class Span:
-    """One closed phase span of one request's lifecycle."""
+    """One closed phase span of one request's lifecycle.
 
-    request_id: int
-    phase: str
-    start: float
-    end: float
-    replica: int = 0
-    attrs: dict = field(default_factory=dict)
+    Slotted like :class:`AuditRecord` and for the same reason: every
+    lifecycle edge of every request closes one of these.
+    """
+
+    __slots__ = ("request_id", "phase", "start", "end", "replica", "attrs")
+
+    def __init__(
+        self,
+        request_id: int,
+        phase: str,
+        start: float,
+        end: float,
+        replica: int = 0,
+        attrs: dict | None = None,
+    ) -> None:
+        self.request_id = request_id
+        self.phase = phase
+        self.start = start
+        self.end = end
+        self.replica = replica
+        self.attrs = {} if attrs is None else attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span(request_id={self.request_id}, phase={self.phase!r}, "
+            f"start={self.start!r}, end={self.end!r}, "
+            f"replica={self.replica}, attrs={self.attrs!r})"
+        )
 
     @property
     def duration(self) -> float:
@@ -128,21 +167,13 @@ class Tracer:
         """Append one structured control-plane decision."""
         if not self.enabled:
             return
-        self.records.append(
-            AuditRecord(
-                time=time,
-                kind=kind,
-                payload=payload,
-                component=component,
-                replica=replica,
-            )
-        )
+        self.records.append(AuditRecord(time, kind, payload, component, replica))
 
     def record(self, time: float, kind: str, **payload) -> None:
         """Legacy ``TraceRecorder.record`` API (component "legacy")."""
         if not self.enabled:
             return
-        self.records.append(AuditRecord(time=time, kind=kind, payload=payload))
+        self.records.append(AuditRecord(time, kind, payload))
 
     # ------------------------------------------------------------------
     # Request-lifecycle spans
@@ -183,26 +214,17 @@ class Tracer:
         if open_span is not None:
             if attrs:
                 open_span.attrs.update(attrs)
-            self.spans.append(
-                Span(
-                    request_id=request_id,
-                    phase=open_span.phase,
-                    start=open_span.start,
-                    end=now,
-                    replica=open_span.replica,
-                    attrs=open_span.attrs,
-                )
-            )
+            self._close(request_id, open_span, now)
 
     def _close(self, request_id: int, open_span: _OpenSpan, now: float) -> None:
         self.spans.append(
             Span(
-                request_id=request_id,
-                phase=open_span.phase,
-                start=open_span.start,
-                end=now,
-                replica=open_span.replica,
-                attrs=open_span.attrs,
+                request_id,
+                open_span.phase,
+                open_span.start,
+                now,
+                open_span.replica,
+                open_span.attrs,
             )
         )
 

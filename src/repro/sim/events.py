@@ -28,7 +28,7 @@ class Event:
 
     __slots__ = (
         "time", "priority", "seq", "action", "label", "cancelled", "popped",
-        "weak",
+        "weak", "shard",
     )
 
     def __init__(
@@ -52,6 +52,12 @@ class Event:
         # pure observers (telemetry samplers) never stretch a run's
         # makespan past its final real event.
         self.weak = weak
+        # Which calendar holds this event in a sharded simulator (0 =
+        # the simulator's own queue).  The sharded run loop shares the
+        # heap-entry tuples between the shard heaps and its top-level
+        # heap — allocation-free coordination — and reads the owning
+        # shard back off the event.
+        self.shard = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else ("popped" if self.popped else "live")
@@ -73,9 +79,13 @@ class EventQueue:
     # amortised O(1) per cancellation.
     _COMPACT_MIN = 64
 
-    def __init__(self) -> None:
+    def __init__(self, counter: "itertools.count | None" = None) -> None:
         self._heap: list[_HeapEntry] = []
-        self._counter = itertools.count()
+        # Sharded simulators pass one shared counter to every shard's
+        # queue: seq numbers are then allocated in global program order,
+        # so the (time, priority, seq) total order — and therefore the
+        # pop order — is identical to a single queue holding all events.
+        self._counter = counter if counter is not None else itertools.count()
         self._cancelled = 0
 
     def push(
@@ -91,6 +101,29 @@ class EventQueue:
         event = Event(time, priority, next(self._counter), action, label, weak)
         heapq.heappush(self._heap, (time, priority, event.seq, event))
         return event
+
+    def push_entry(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+        weak: bool = False,
+    ) -> _HeapEntry:
+        """:meth:`push`, but returns the heap entry tuple itself.
+
+        The sharded run loop re-posts this exact tuple into its
+        top-level heap, so cross-calendar coordination allocates nothing
+        beyond what a single-heap push already would — per-event
+        allocation parity keeps GC pressure (a measurable fleet-scale
+        cost) identical to the unsharded engine.
+        """
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time, priority, next(self._counter), action, label, weak)
+        entry = (time, priority, event.seq, event)
+        heapq.heappush(self._heap, entry)
+        return entry
 
     def discard(self, event: Event) -> None:
         """Cancel a scheduled event; it will never run nor count.
@@ -135,6 +168,22 @@ class EventQueue:
             heapq.heappop(heap)[3].popped = True
             self._cancelled -= 1
         return heap[0][0] if heap else None
+
+    def peek_key(self) -> tuple | None:
+        """Full ``(time, priority, seq)`` key of the next live event.
+
+        Same lazy-cancelled-head cleanup as :meth:`peek_time`; the
+        sharded run loop needs the whole key so per-shard heads compare
+        under the exact single-heap tie-break order.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)[3].popped = True
+            self._cancelled -= 1
+        if not heap:
+            return None
+        head = heap[0]
+        return (head[0], head[1], head[2])
 
     @property
     def cancelled_pending(self) -> int:

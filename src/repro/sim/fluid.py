@@ -10,19 +10,29 @@ The fluid stepper advances such stretches in closed form, one *window*
 at a time covering **every** decode batch at once.  Per-batch stretches
 do not work: with two or more concurrent batches, each batch's next
 completion event is the other's horizon, and the stretches collapse to
-single iterations.  A window instead launches when the whole server is
-quiescent (no pending queue, no iteration in flight), advances each
-batch by as many iterations as fit, and schedules a single shared event
-at the window's end.
+single iterations.  A window instead launches when no iteration is in
+flight, advances each batch by as many iterations as fit, and schedules
+a single shared event at the window's end.
+
+A non-empty pending queue does **not** disengage fluid mode (it did
+until PR 8): the scheduler pass that precedes ``try_window`` just
+declined to admit the queue, admission is memory-gated, and free KV
+next grows at a completion — where every window already ends.  The one
+scheduler action that can hit the queue sooner is QoS deadline
+preemption, and its trigger is a deterministic slack crossing the
+window is additionally bounded by.
 
 A window is bounded conservatively by
 
 * the next scheduled event (arrival, control tick, fault injection,
   prefill completion, a QoS deadline check — every transient in the
   system is an already-queued event, so the queue head is a sound
-  horizon),
+  horizon; inside a sharded fleet this is the replica-local horizon,
+  which includes the next control tick),
 * the first request completion across all batches (completions release
-  KV and trigger re-planning, so no window ever glides past one), and
+  KV and trigger re-planning, so no window ever glides past one),
+* the first QoS slack-threshold crossing of a top-tier pending request
+  (the earliest time deadline preemption could act on the backlog), and
 * KV exhaustion on any batch's instances (the discrete path would start
   preempting; the fluid path stops one iteration short instead).
 
@@ -83,13 +93,19 @@ class FluidStepper:
         server can advance together); False means run the discrete path.
         """
         server = self.server
-        # A non-empty queue would not break soundness — every transient is
-        # still a queued event bounding the window — but the discrete path
-        # retries dispatch after every iteration, so windows there add
-        # queueing delay the reference would not have.  Fluid mode only
-        # engages when the server is drained.
+        now = server.sim.now
+        # A non-empty queue is allowed: this tick's scheduler pass just
+        # declined to admit anything (try_window runs after it), and
+        # admission is memory-gated — free KV next grows at a completion,
+        # where every window already ends (the n_finish cap below).  The
+        # one way the discrete path could act on the queue *before* a
+        # completion is QoS deadline preemption, whose trigger time is a
+        # deterministic slack crossing — so the window is bounded there.
+        backlog_bound = math.inf
         if server.pending:
-            return False
+            backlog_bound = self._admission_horizon(now)
+            if backlog_bound <= now:
+                return False  # scheduler would act immediately: stay discrete
 
         ready = []
         any_running = False
@@ -129,7 +145,6 @@ class FluidStepper:
         if not planned:
             return False
 
-        now = server.sim.now
         tp = server.config.tensor_parallel
         entries = []
         for batch, masters in planned:
@@ -168,6 +183,8 @@ class FluidStepper:
             now + _stretch_time(cap, d, s) for _, _, cap, d, s in entries
         )
         t_end = min(t_end, now + self.max_window_s)
+        if backlog_bound < t_end:
+            t_end = backlog_bound
         horizon = server.sim.next_event_time()
         if horizon is not None:
             t_end = min(t_end, horizon)
@@ -183,16 +200,62 @@ class FluidStepper:
         if total < self.min_iterations * len(final):
             return False
 
-        self._launch(final, now)
-        return True
+        return self._launch(final, now)
+
+    def _admission_horizon(self, now: float) -> float:
+        """Earliest time the discrete scheduler could act on the backlog
+        before a completion: the first QoS slack-threshold crossing.
+
+        ``_qos_preempt_for_deadlines`` fires for a top-tier pending
+        request once ``slack < preempt_slack_fraction * deadline_budget``.
+        Slack burns at exactly 1 s/s (deadline and ideal latency are
+        fixed once admitted), so the crossing is at
+        ``now + slack(now) - threshold`` — deterministic, priced from the
+        same policy the discrete path consults.  Without QoS preemption
+        nothing can touch the queue before a completion frees KV, and the
+        window already ends at the first completion.
+        """
+        server = self.server
+        qos = server.qos
+        if qos is None or not qos.preemption:
+            return math.inf
+        top = min(c.priority for c in qos.classes.values())
+        bound = math.inf
+        for request in server.pending:
+            if request.deadline is None or qos.qos_class(request).priority != top:
+                continue
+            threshold = qos.preempt_slack_fraction * (
+                request.deadline - request.arrival_time
+            )
+            crossing = now + qos.slack(request, now) - threshold
+            if crossing < bound:
+                bound = crossing
+        return bound
 
     # -- window execution --------------------------------------------------
 
-    def _launch(self, final, now: float) -> None:
+    def _launch(self, final, now: float) -> bool:
+        """Commit the planned window.  Returns False when every batch had
+        to be dropped (the discrete path should run this tick instead)."""
         server = self.server
+        pool = server.pool
         window_end = now
         launched = []
         for batch, n, d_start, slope in final:
+            # Re-check the KV budget against the pool's *current* free
+            # slots before touching it: an earlier batch in this very
+            # window (or a sibling merge during memory pre-flight) may
+            # share instances, and planning bounds are per-batch.  Shrink
+            # deterministically instead of overrunning mid-allocation.
+            budget_slots = pool.free_on(list(batch.instance_ids))
+            bs = batch.batch_size
+            # planned(n) = n*bs - (#requests finishing within the window)
+            # >= (n-1)*bs, so nothing above budget//bs + 1 can ever fit.
+            n = min(n, budget_slots // bs + 1)
+            while n >= 1 and self._planned_appends(batch, n) > budget_slots:
+                n -= 1
+            if n < 1:
+                continue  # KV-starved batch: leave it to the discrete path
             duration = _stretch_time(n, d_start, slope)
             window_end = max(window_end, now + duration)
             # Allocate the whole window's KV growth up front: no event
@@ -231,12 +294,24 @@ class FluidStepper:
             # window-end timestamp (a prefill completing there) must not
             # be credited with this window's tokens.
             launched.append((batch, n, [r.request_id for r in batch.requests]))
+        if not launched:
+            return False
         self.windows += 1
         self.iterations_absorbed += sum(n for _, n, _ in launched)
         server.sim.call_after(
             window_end - now,
             server._guarded(lambda: self._on_window_done(launched)),
             label="fluid_done",
+        )
+        return True
+
+    @staticmethod
+    def _planned_appends(batch, n: int) -> int:
+        """KV slots a window of ``n`` iterations would append for a batch
+        (requests finishing inside the window append one fewer)."""
+        return sum(
+            n if (request.output_len - request.generated) > n else n - 1
+            for request in batch.requests
         )
 
     def _bulk_extend(self, request_id: int, batch, num_tokens: int) -> None:
@@ -269,6 +344,7 @@ class FluidStepper:
                 if request.request_id not in members:
                     continue
                 request.generated += n
+                server._generated_total += n
                 if request.generated >= request.output_len:
                     server._finish_request(request)
             batch.remove_finished()

@@ -244,7 +244,9 @@ class TestFluidWindows:
         _, server = _run("hybrid", trace)
         assert server.pool.total_free == server.config.total_kv_slots
 
-    def test_hybrid_never_engages_without_quiescence(self):
+    def test_no_window_without_ready_decode_batches(self):
+        # Backlog alone no longer disengages fluid mode (PR 8), but with
+        # nothing decoding there is still nothing to advance.
         config = default_config(scheduler=SchedulerConfig(sim_mode="hybrid"))
         server = LoongServeServer(config)
         server._reset()
@@ -252,3 +254,157 @@ class TestFluidWindows:
             Request(request_id=0, input_len=8, output_len=8, arrival_time=0.0)
         )
         assert server._fluid.try_window() is False
+
+
+def _backlogged_trace(num_requests=80, input_len=1024, output_len=300):
+    """Everything arrives at t=0: admission is memory-gated, so the
+    pending queue stays deep while the first cohorts decode."""
+    return [
+        Request(request_id=i, input_len=input_len, output_len=output_len,
+                arrival_time=0.0)
+        for i in range(num_requests)
+    ]
+
+
+class TestBacklogWindows:
+    """Fluid windows under a non-empty pending queue (PR 8)."""
+
+    def test_windows_launch_while_queue_is_backlogged(self, monkeypatch):
+        # Patch the class: ``run()`` rebuilds the stepper in ``_reset``.
+        original = FluidStepper.try_window
+        backlog_at_launch = []
+
+        def spy(stepper):
+            before = stepper.windows
+            engaged = original(stepper)
+            if engaged and stepper.windows > before and stepper.server.pending:
+                backlog_at_launch.append(len(stepper.server.pending))
+            return engaged
+
+        monkeypatch.setattr(FluidStepper, "try_window", spy)
+        _run("hybrid", _backlogged_trace())
+        assert backlog_at_launch, (
+            "no fluid window launched while requests were queued — the "
+            "backlog path has disengaged"
+        )
+
+    def test_backlogged_tokens_exact_and_makespan_bounded(self):
+        trace = _backlogged_trace()
+        discrete, ds = _run("discrete", trace)
+        hybrid, hs = _run("hybrid", trace)
+        d_fin = [r for r in discrete.requests if r.finished]
+        h_fin = [r for r in hybrid.requests if r.finished]
+        assert len(h_fin) == len(d_fin)
+        assert sum(r.generated for r in h_fin) == sum(r.generated for r in d_fin)
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.15 * discrete.makespan
+        assert hs._fluid.windows > 0
+        assert hs.sim.events_processed < ds.sim.events_processed
+
+    def test_admission_horizon_infinite_without_qos_preemption(self):
+        config = default_config(scheduler=SchedulerConfig(sim_mode="hybrid"))
+        server = LoongServeServer(config)
+        server._reset()
+        server.pending.append(
+            Request(request_id=0, input_len=8, output_len=8, arrival_time=0.0)
+        )
+        assert server._fluid._admission_horizon(1.0) == float("inf")
+        server.qos = QoSPolicy.for_config(config, server.cost_model,
+                                          preemption=False)
+        assert server._fluid._admission_horizon(1.0) == float("inf")
+
+    def test_admission_horizon_prices_the_slack_crossing(self):
+        config = default_config(scheduler=SchedulerConfig(sim_mode="hybrid"))
+        server = LoongServeServer(config)
+        server.qos = QoSPolicy.for_config(config, server.cost_model)
+        server._reset()
+        top = Request(request_id=0, input_len=64, output_len=32,
+                      arrival_time=0.0, qos="interactive")
+        top.deadline = 30.0
+        lower = Request(request_id=1, input_len=64, output_len=32,
+                        arrival_time=0.0, qos="batch")
+        lower.deadline = 2.0  # urgent but not top-tier: never preempts
+        server.pending.extend([top, lower])
+        now = 5.0
+        threshold = server.qos.preempt_slack_fraction * (
+            top.deadline - top.arrival_time
+        )
+        expected = now + server.qos.slack(top, now) - threshold
+        assert server._fluid._admission_horizon(now) == pytest.approx(expected)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        num_requests=st.integers(min_value=40, max_value=100),
+        output_len=st.integers(min_value=100, max_value=300),
+        stagger=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_backlogged_family_tokens_exact_makespan_bounded(
+        self, num_requests, output_len, stagger
+    ):
+        trace = [
+            Request(request_id=i, input_len=512, output_len=output_len,
+                    arrival_time=(i % 8) * stagger)
+            for i in range(num_requests)
+        ]
+        discrete, _ = _run("discrete", trace)
+        hybrid, _ = _run("hybrid", trace)
+        d_tokens = sum(r.generated for r in discrete.requests if r.finished)
+        h_tokens = sum(r.generated for r in hybrid.requests if r.finished)
+        assert h_tokens == d_tokens
+        assert abs(hybrid.makespan - discrete.makespan) <= 0.15 * discrete.makespan
+
+
+class TestKVWindowShrink:
+    """The window launcher must shrink to the pool's live budget instead
+    of overrunning ``_bulk_extend``'s free-slot invariant (PR 8 fix)."""
+
+    def test_planned_appends_counts_finishing_requests_once_less(self):
+        from types import SimpleNamespace
+
+        batch = SimpleNamespace(requests=[
+            SimpleNamespace(output_len=100, generated=10),   # survives: n
+            SimpleNamespace(output_len=100, generated=95),   # finishes at 5: n-1
+            SimpleNamespace(output_len=100, generated=100),  # done: n-1
+        ])
+        assert FluidStepper._planned_appends(batch, 5) == 5 + 4 + 4
+        # At n=1 the middle request (5 remaining) no longer finishes
+        # inside the window, so it appends the full n.
+        assert FluidStepper._planned_appends(batch, 1) == 1 + 1 + 0
+
+    def test_launch_shrinks_to_the_live_kv_budget(self, monkeypatch):
+        """Starve the pool right before each launch: the window must
+        shrink (or skip) deterministically, never raise, and the run
+        must still finish every request."""
+        original = FluidStepper._launch
+        sentinel = 10**9
+        squeezed = []
+
+        def starving_launch(stepper, final, now):
+            pool = stepper.server.pool
+            batch = final[0][0]
+            ids = list(batch.instance_ids)
+            free = pool.free_on(ids)
+            # Leave roughly one iteration of headroom — far less than
+            # the n the planner just sized against the pre-squeeze pool.
+            hold = max(0, free - 2 * batch.batch_size)
+            taken = 0
+            for instance_id in ids:
+                take = min(hold - taken, pool.pools[instance_id].free)
+                if take > 0:
+                    pool.extend(sentinel, instance_id, take)
+                    taken += take
+                if taken >= hold:
+                    break
+            if taken:
+                squeezed.append(taken)
+            try:
+                return original(stepper, final, now)
+            finally:
+                pool.evict(sentinel)
+
+        monkeypatch.setattr(FluidStepper, "_launch", starving_launch)
+        trace = _steady_trace(num_requests=120, cluster=24, interval=8.0,
+                              output_len=200)
+        result, server = _run("hybrid", trace)
+        assert squeezed, "starvation never applied — test setup is broken"
+        assert all(r.finished for r in result.requests)
+        assert server.pool.total_free == server.config.total_kv_slots
