@@ -39,6 +39,17 @@ crashes, `--fault-mtbf` draws a seeded stochastic schedule:
         --dataset sessions --rate 1.0 -n 30 --migrate-kv --steal \
         --fault-at 20:0 --fault-downtime 15
 
+Disaggregated serving and tiered KV (`repro.fleet.disagg`,
+`repro.kvcache.tiers`): `--disagg N` splits the fleet into N prefill
+replicas and the rest decode — arrivals prefill on the first pool and
+their KV rides the priced fabric to a decode replica (requires
+`--prefix-cache`).  `--kv-tiers lru|fifo|lifo` arms host/SSD offload
+under each replica's prefix cache, and `--standby N` appends N warm
+standby replicas an autoscaler promotes with zero warm-up:
+
+    python -m repro serve --replicas 4 --disagg 1 --prefix-cache \
+        --dataset mixed --rate 20 -n 200 --kv-tiers lru
+
 Multi-tenant QoS (`repro.qos`): `--qos-mix` tags the generated trace
 with SLO classes (`interactive:0.3,standard:0.5,batch:0.2`), `--qos`
 arms deadline-aware dispatch + batch-tier preemption on LoongServe
@@ -172,6 +183,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.disagg:
+        if not args.prefix_cache:
+            print(
+                "error: --disagg hands prefilled KV between replicas' prefix "
+                "caches; it requires --prefix-cache",
+                file=sys.stderr,
+            )
+            return 2
+        if not 1 <= args.disagg < args.replicas:
+            print(
+                f"error: --disagg {args.disagg} must leave both pools "
+                f"non-empty (--replicas {args.replicas})",
+                file=sys.stderr,
+            )
+            return 2
+        if args.steal:
+            print("error: --disagg and --steal are incompatible",
+                  file=sys.stderr)
+            return 2
+    if args.kv_tiers and not args.prefix_cache:
+        print(
+            "error: --kv-tiers offloads prefix-cache extents; "
+            "it requires --prefix-cache",
+            file=sys.stderr,
+        )
+        return 2
+    if args.standby and not (args.autoscale or args.autoscale_predictive):
+        print(
+            "error: --standby replicas start parked; arm --autoscale or "
+            "--autoscale-predictive to ever promote them",
+            file=sys.stderr,
+        )
+        return 2
     faults_requested = bool(args.fault_at) or args.fault_mtbf is not None
     if faults_requested and not (
         math.isfinite(args.fault_downtime) and args.fault_downtime > 0
@@ -188,6 +232,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             "error: --fault-at/--fault-mtbf need a fleet (--replicas >= 2); "
             "a single crashed replica has no survivors to fail over to",
+            file=sys.stderr,
+        )
+        return 2
+    if faults_requested and args.disagg:
+        print(
+            "error: --disagg and failure injection are incompatible: a "
+            "handoff source crashing mid-transfer is not modelled",
             file=sys.stderr,
         )
         return 2
@@ -299,6 +350,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             control_interval=args.control_interval,
             qos=args.qos, admission=args.admission,
             autoscale_predictive=args.autoscale_predictive,
+            disagg=args.disagg, kv_tiers=args.kv_tiers,
+            standby=args.standby,
             **router_kwargs,
         )
     else:
@@ -306,6 +359,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.system, requests=trace, num_gpus=args.num_gpus,
             prefix_cache=args.prefix_cache,
             qos=args.qos, admission=args.admission,
+            kv_tiers=args.kv_tiers,
         )
     obs = None
     if args.trace_out or args.telemetry_interval is not None:
@@ -352,6 +406,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"prefix cache: {rate:.1%} token hit rate, "
               f"{int(matched):,} prefill tokens saved, "
               f"{int(cache.get('evicted_tokens', 0)):,} evicted")
+        if cache.get("tier_offloaded_tokens"):
+            print(f"kv tiers: {int(cache['tier_offloaded_tokens']):,} tokens "
+                  f"offloaded, "
+                  f"{int(cache.get('tier_swapped_in_tokens', 0)):,} swapped "
+                  f"back in "
+                  f"({cache.get('tier_swap_in_seconds', 0.0) * 1000:.1f} ms "
+                  f"charged)")
     tagged = any(r.qos is not None for r in trace)
     if tagged or result.qos_stats:
         from repro.experiments.endtoend import reference_ideal_model
@@ -452,6 +513,21 @@ def main(argv: list[str] | None = None) -> int:
                        help="ship session prefix KV between replicas when work "
                             "is rebalanced or a replica parks (needs "
                             "--prefix-cache)")
+    serve.add_argument("--disagg", type=int, default=0, metavar="N",
+                       help="disaggregated serving: the first N replicas "
+                            "become a dedicated prefill pool, the rest "
+                            "decode; prefilled KV rides the priced fabric "
+                            "between them (requires --prefix-cache)")
+    serve.add_argument("--kv-tiers", choices=("lru", "fifo", "lifo"),
+                       default=None,
+                       help="offload evicted prefix-cache extents to "
+                            "host/SSD tiers with this victim policy instead "
+                            "of dropping them (requires --prefix-cache)")
+    serve.add_argument("--standby", type=int, default=0, metavar="N",
+                       help="append N warm standby replicas (parked, weights "
+                            "resident) that the autoscaler promotes with "
+                            "zero warm-up (requires --autoscale or "
+                            "--autoscale-predictive)")
     serve.add_argument("--control-interval", type=float, default=None,
                        help="seconds between fleet control ticks "
                             "(default 0.5)")

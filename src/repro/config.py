@@ -55,6 +55,17 @@ class SchedulerConfig:
     window is not worth its bookkeeping (the discrete path runs
     instead), and the wall-clock cap bounding how long batch membership
     and master sets stay frozen.  Ignored in discrete mode.
+
+    ``kv_tier_policy`` — arm host/SSD KV offload tiers for the prefix
+    cache (``repro.kvcache.tiers``): evicted extents demote into pinned
+    host memory, spill to NVMe under host pressure, and swap back in on
+    a prefix hit (the transfer priced into the prefill).  One of
+    ``"lru"``/``"fifo"``/``"lifo"`` (the tier victim policy); ``None``
+    (default) keeps eviction terminal — bit-identical prior behaviour.
+    Requires ``enable_prefix_cache``.
+
+    ``kv_host_tokens`` / ``kv_ssd_tokens`` — per-replica token capacity
+    of the host and SSD tiers (ignored until ``kv_tier_policy`` is set).
     """
 
     decode_compute_bound_bs: int = 128
@@ -71,12 +82,25 @@ class SchedulerConfig:
     sim_mode: str = "discrete"
     fluid_min_iterations: int = 4
     fluid_max_window_s: float = 1.0
+    kv_tier_policy: str | None = None
+    kv_host_tokens: int = 200_000
+    kv_ssd_tokens: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.sim_mode not in ("discrete", "hybrid"):
             raise ValueError(
                 f"sim_mode must be 'discrete' or 'hybrid', got {self.sim_mode!r}"
             )
+        if self.kv_tier_policy is not None:
+            if self.kv_tier_policy not in ("lru", "fifo", "lifo"):
+                raise ValueError(
+                    "kv_tier_policy must be 'lru', 'fifo', or 'lifo', "
+                    f"got {self.kv_tier_policy!r}"
+                )
+            if not self.enable_prefix_cache:
+                raise ValueError("kv_tier_policy requires enable_prefix_cache")
+            if self.kv_host_tokens < 0 or self.kv_ssd_tokens < 0:
+                raise ValueError("KV tier capacities must be >= 0")
         if self.fluid_min_iterations < 1:
             raise ValueError(
                 f"fluid_min_iterations must be >= 1, got {self.fluid_min_iterations}"

@@ -85,6 +85,7 @@ class LoongServeServer:
             PrefixKVCache(
                 self.pool,
                 max_cached_tokens=config.scheduler.max_cached_tokens,
+                tiers=self._make_tiers(),
             )
             if config.scheduler.enable_prefix_cache
             else None
@@ -130,6 +131,20 @@ class LoongServeServer:
         # Bumped by crash(): scheduled callbacks from before the crash
         # must never touch the rebuilt state (see _guarded).
         self._epoch = 0
+
+    def _make_tiers(self):
+        """Host/SSD offload tiers for the prefix cache, when configured."""
+        scheduler = self.config.scheduler
+        if scheduler.kv_tier_policy is None:
+            return None
+        from repro.kvcache.tiers import TieredKVStore
+
+        return TieredKVStore(
+            policy=scheduler.kv_tier_policy,
+            host_capacity_tokens=scheduler.kv_host_tokens,
+            ssd_capacity_tokens=scheduler.kv_ssd_tokens,
+            bytes_per_token=self.config.model.kv_bytes_per_token,
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -205,7 +220,7 @@ class LoongServeServer:
             makespan=self.sim.now,
             aborted=self.aborted,
             cache_stats=(
-                self.prefix_cache.stats.as_dict()
+                self.prefix_cache.stats_dict()
                 if self.prefix_cache is not None
                 else None
             ),
@@ -290,10 +305,14 @@ class LoongServeServer:
             for i in range(config.num_instances)
         }
         if self.prefix_cache is not None:
+            # The offload tiers survive the crash with the ledger: host
+            # memory is node-pinned and the SSD is durable, so demoted
+            # extents outlive the GPU process that wrote them.
             self.prefix_cache = PrefixKVCache(
                 self.pool,
                 stats=self.prefix_cache.stats,
                 max_cached_tokens=self.prefix_cache.max_cached_tokens,
+                tiers=self.prefix_cache.tiers,
             )
         self.pending = []
         self._unvetted.clear()
@@ -693,6 +712,23 @@ class LoongServeServer:
             self.config.tensor_parallel,
         )
         duration += self.config.scheduler.scheduling_overhead_s
+        if self.prefix_cache is not None and self.prefix_cache.tiers is not None:
+            # Swap-in debt: extents fetched up from the host/SSD tiers for
+            # these requests ride the PCIe/NVMe path before the prefill
+            # can read them; the transfers serialise on the local bus.
+            swap_s = sum(
+                self.prefix_cache.take_swap_debt(r.request_id)
+                for r in task.requests
+            )
+            if swap_s > 0.0:
+                duration += swap_s
+                if self.trace.enabled:
+                    self.trace.audit(
+                        self.sim.now, "kv_swap_in", component="kvcache",
+                        replica=self.obs_replica,
+                        requests=len(task.requests),
+                        seconds=round(swap_s, 6),
+                    )
         task.started_at = self.sim.now
         task.duration = duration
 

@@ -134,3 +134,44 @@ class CollectiveModel:
             return 0.0
         link = self.cluster.topology.infiniband
         return link.latency + kv_bytes / (link.bandwidth * max(1, tensor_parallel))
+
+
+@dataclass(frozen=True)
+class SwapPricing:
+    """Prices KV movement down the local memory hierarchy.
+
+    Tiered KV offload (``repro.kvcache.tiers``) parks cold prefix
+    extents in pinned host memory (over PCIe) and spills further to
+    local NVMe.  Both hops are bandwidth + per-transfer latency, like
+    every other link model in this module.  Defaults approximate a
+    PCIe 4.0 x16 GPU (~24 GB/s effective DMA) and a datacenter NVMe
+    drive (~5 GB/s sequential, ~100 us access).
+    """
+
+    pcie_bandwidth: float = 24e9
+    pcie_latency: float = 10e-6
+    ssd_bandwidth: float = 5e9
+    ssd_latency: float = 100e-6
+
+    def host_swap_time(self, kv_bytes: float) -> float:
+        """One GPU<->host copy of ``kv_bytes`` over PCIe."""
+        if kv_bytes <= 0:
+            return 0.0
+        return self.pcie_latency + kv_bytes / self.pcie_bandwidth
+
+    def ssd_swap_time(self, kv_bytes: float) -> float:
+        """One GPU<->SSD transfer: NVMe read/write staged through host
+        memory, so the PCIe hop is paid on top of the drive."""
+        if kv_bytes <= 0:
+            return 0.0
+        return self.host_swap_time(kv_bytes) + self.ssd_latency + (
+            kv_bytes / self.ssd_bandwidth
+        )
+
+    def swap_time(self, kv_bytes: float, tier: str) -> float:
+        """Swap cost for one transfer to/from ``tier`` ("host"/"ssd")."""
+        if tier == "host":
+            return self.host_swap_time(kv_bytes)
+        if tier == "ssd":
+            return self.ssd_swap_time(kv_bytes)
+        raise ValueError(f"unknown KV tier {tier!r}")

@@ -202,6 +202,11 @@ def make_fleet(
     sim_mode: str = "discrete",
     sharded: bool = True,
     fluid_max_window_s: float | None = None,
+    disagg: int = 0,
+    kv_tiers: str | None = None,
+    kv_host_tokens: int = 200_000,
+    kv_ssd_tokens: int = 1_000_000,
+    standby: int = 0,
     **router_kwargs,
 ):
     """Build a fleet of identical replicas under a cluster policy.
@@ -237,6 +242,19 @@ def make_fleet(
     reactive autoscaler for the forecast-driven one.  All off = the
     bit-identical pre-QoS fleet.
 
+    Disaggregated serving (``repro.fleet.disagg``): ``disagg=N`` makes
+    the first ``N`` replicas a dedicated prefill pool and the rest the
+    decode pool — arrivals prefill on the first pool and their KV rides
+    the priced fabric to a decode replica (requires ``prefix_cache``;
+    incompatible with ``steal`` and ``faults``, whose relocation paths
+    assume route-once ownership).  ``kv_tiers`` arms host/SSD KV offload
+    on every replica's prefix cache with that victim policy
+    (``lru``/``fifo``/``lifo``; capacities via ``kv_host_tokens`` /
+    ``kv_ssd_tokens``).  ``standby=N`` appends ``N`` warm standby
+    replicas: parked decode capacity with weights resident that an
+    autoscaler promotes with zero warm-up (requires ``autoscale`` or
+    ``autoscale_predictive``).
+
     ``sim_mode="hybrid"`` arms every replica's fluid stepper (windows
     engage per replica, bounded by the replica's local event horizon —
     including the next control tick); ``fluid_max_window_s`` caps window
@@ -269,6 +287,35 @@ def make_fleet(
         raise ValueError(
             "pass at most one of autoscale / autoscale_predictive"
         )
+    if disagg:
+        if not prefix_cache:
+            raise ValueError(
+                "disagg hands prefilled KV between replicas' prefix caches; "
+                "it needs prefix_cache=True"
+            )
+        if not 1 <= disagg < replicas:
+            raise ValueError(
+                f"disagg={disagg} must leave both pools non-empty "
+                f"(fleet has {replicas} replicas)"
+            )
+        if steal:
+            raise ValueError(
+                "disagg and steal are incompatible: stealing would relocate "
+                "prefill clones across the pool boundary"
+            )
+        if faults:
+            raise ValueError(
+                "disagg and failure injection are incompatible: a handoff "
+                "source crashing mid-transfer is not modelled"
+            )
+    if standby:
+        if standby < 0:
+            raise ValueError(f"standby must be >= 0, got {standby}")
+        if not (autoscale or autoscale_predictive):
+            raise ValueError(
+                "standby replicas start parked; an autoscaler must be armed "
+                "to ever promote them"
+            )
     if faults:
         if system not in CRASHABLE_SYSTEMS:
             raise ValueError(
@@ -284,8 +331,10 @@ def make_fleet(
         make_system(system, requests=requests, num_gpus=num_gpus,
                     gpus_per_node=gpus_per_node, prefix_cache=prefix_cache,
                     qos=qos, admission=admission, sim_mode=sim_mode,
-                    fluid_max_window_s=fluid_max_window_s)
-        for _ in range(replicas)
+                    fluid_max_window_s=fluid_max_window_s,
+                    kv_tiers=kv_tiers, kv_host_tokens=kv_host_tokens,
+                    kv_ssd_tokens=kv_ssd_tokens)
+        for _ in range(replicas + standby)
     ]
     migrator = None
     if migrate_kv:
@@ -323,14 +372,31 @@ def make_fleet(
         injector=FaultInjector(plan=faults) if faults else None,
         lifecycle=lifecycle,
     )
-    return FleetServer(
+    dispatcher = None
+    if disagg:
+        from repro.fleet.disagg import DisaggDispatcher
+
+        config = servers[0].config  # LoongServe shape, guaranteed by the gate
+        dispatcher = DisaggDispatcher(
+            num_prefill=disagg,
+            pricing=(
+                CollectiveModel(cluster=config.cluster),
+                config.model,
+                config.tensor_parallel,
+            ),
+        )
+    fleet = FleetServer(
         servers,
         policy=policy,
         control_interval=(
             DEFAULT_CONTROL_INTERVAL if control_interval is None else control_interval
         ),
         sharded=sharded,
+        disagg=dispatcher,
     )
+    for handle in fleet.replicas[len(fleet.replicas) - standby:] if standby else ():
+        handle.standby = True
+    return fleet
 
 
 def make_system(
@@ -343,12 +409,17 @@ def make_system(
     admission: bool = False,
     sim_mode: str = "discrete",
     fluid_max_window_s: float | None = None,
+    kv_tiers: str | None = None,
+    kv_host_tokens: int = 200_000,
+    kv_ssd_tokens: int = 1_000_000,
 ):
     """Build any evaluated system by its paper name.
 
     ``prefix_cache=True`` enables the radix prefix-KV cache
     (``repro.sessions``); it is a LoongServe scheduler feature, so other
     systems reject it rather than silently serving without one.
+    ``kv_tiers`` adds host/SSD offload tiers under that cache
+    (``repro.kvcache.tiers``) with the given victim policy.
 
     ``qos=True`` arms the SLO-class policy (``repro.qos``) on the
     server's scheduler — deadline-aware dispatch ordering plus
@@ -371,11 +442,22 @@ def make_system(
             f"sim_mode={sim_mode!r} (the fluid stepper) is only supported on "
             f"the 'loongserve' system, not {name!r}"
         )
+    if kv_tiers is not None and name != "loongserve":
+        raise ValueError(
+            f"kv_tiers (tiered KV offload) is only supported on the "
+            f"'loongserve' system, not {name!r}"
+        )
     scheduler = None
-    if prefix_cache or sim_mode != "discrete":
+    if prefix_cache or sim_mode != "discrete" or kv_tiers is not None:
         kwargs = {}
         if fluid_max_window_s is not None:
             kwargs["fluid_max_window_s"] = fluid_max_window_s
+        if kv_tiers is not None:
+            kwargs.update(
+                kv_tier_policy=kv_tiers,
+                kv_host_tokens=kv_host_tokens,
+                kv_ssd_tokens=kv_ssd_tokens,
+            )
         scheduler = SchedulerConfig(
             enable_prefix_cache=prefix_cache, sim_mode=sim_mode, **kwargs
         )

@@ -25,6 +25,7 @@ from repro.fleet.control import (
     ClusterPolicy,
     FleetController,
 )
+from repro.fleet.disagg import CLONE_ID_OFFSET, DisaggDispatcher
 from repro.fleet.faults import (
     DEFAULT_DOWNTIME_S,
     FaultInjector,
@@ -54,8 +55,10 @@ __all__ = [
     "LONG_INPUT_THRESHOLD",
     "ROUTERS",
     "AutoscalerConfig",
+    "CLONE_ID_OFFSET",
     "CacheAffinityRouter",
     "ClusterPolicy",
+    "DisaggDispatcher",
     "FaultInjector",
     "FaultPlan",
     "FleetController",

@@ -500,9 +500,15 @@ class FleetController:
         self.stats.record_action(now, action, handle.replica_id)
         lifecycle = self.policy.lifecycle
         warmup = lifecycle.warmup_s if lifecycle is not None else 0.0
+        standby = getattr(handle, "standby", False)
+        if standby and action == "unpark":
+            # Warm standby: the parked replica kept its weights resident,
+            # so promotion is instant.  Crash recovery still pays — the
+            # process died, resident or not.
+            warmup = 0.0
         self._audit(
             "warmup", replica=handle.replica_id, action=action,
-            warmup_s=warmup,
+            warmup_s=warmup, standby=standby,
         )
         if warmup <= 0.0:
             self._complete_warmup(handle)

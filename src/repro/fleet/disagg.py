@@ -1,0 +1,231 @@
+"""Disaggregated prefill/decode dispatch for the fleet.
+
+Monolithic replicas interleave prefill and decode on the same hardware,
+so a long prompt's prefill stalls every co-resident decode iteration.
+The disaggregated layout (DistServe/Splitwise at fleet scale) splits the
+replicas into two pools instead: arrivals **prefill** on one pool, then
+their KV is handed to a **decode** pool over the priced inter-replica
+fabric, and only the decode pool runs token generation.  Decode latency
+is thereby isolated from prompt bursts at the cost of one KV transfer
+per request.
+
+``DisaggDispatcher`` implements the two-stage path on top of the
+existing replica machinery, with no new server shape:
+
+1. The arrival is routed over the prefill pool and a **prefill clone**
+   (same prompt, ``output_len=1``) runs there for real — queueing,
+   batching, and KV allocation included — via
+   :meth:`ReplicaHandle.submit_shadow`, so the clone loads the probe
+   surface without appearing in the fleet result.
+2. When the clone finishes, its KV has just been donated to the prefill
+   replica's prefix cache (``adopt_finished`` runs before the terminal
+   hook).  The dispatcher exports that prefix, imports it into the
+   routed decode replica's cache, and prices the transfer with
+   :class:`~repro.kvcache.migration.PrefixHandoff` over the fabric.
+3. After the modelled transfer delay, the *original* request is
+   submitted to the decode replica.  Its prefill matches the imported
+   prefix (capped at ``input_len - 1``), so the decode side recomputes
+   exactly one prompt token — the KV-append that produces the first
+   output token — and then decodes normally.
+
+If the clone aborts (e.g. the prompt cannot fit the prefill replica's
+pool) the dispatcher falls back to submitting the original directly to
+the decode pool, which prefills from scratch — degraded, never lost.
+
+Token-less requests are given synthetic prompt token ids at dispatch so
+the prefix-cache handoff has a key; the ids are unique per request and
+never collide with workload vocabularies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fleet.router import Router, make_router
+from repro.kvcache.migration import PrefixHandoff
+from repro.types import Request
+
+# Clone ids live far above any workload request id so per-replica
+# bookkeeping (pools, locks, spans) never collides with the original.
+CLONE_ID_OFFSET = 1 << 40
+# Synthetic prompt tokens for token-less requests: unique per (request,
+# position), disjoint from real session vocabularies (which are small).
+_SYNTH_TOKEN_BASE = 1 << 60
+
+
+def _synthetic_tokens(request: Request) -> tuple[int, ...]:
+    base = _SYNTH_TOKEN_BASE + (request.request_id << 22)
+    return tuple(base + i for i in range(request.input_len))
+
+
+class DisaggDispatcher:
+    """Two-stage (prefill pool → fabric → decode pool) arrival dispatch.
+
+    ``num_prefill`` leading replicas form the prefill pool, the rest the
+    decode pool (standby decode replicas stay parked until an autoscaler
+    promotes them).  ``pricing`` is the ``(collectives, model,
+    tensor_parallel)`` triple :meth:`PrefixHandoff.cost` prices the
+    KV transfer with — the same shape ``KVMigrator.pricing`` exposes.
+    """
+
+    def __init__(
+        self,
+        num_prefill: int,
+        pricing: tuple,
+        prefill_router: Router | str = "least-outstanding",
+        decode_router: Router | str = "least-kv",
+    ) -> None:
+        if num_prefill < 1:
+            raise ValueError("disaggregation needs at least 1 prefill replica")
+        self.num_prefill = num_prefill
+        self.pricing = pricing
+        self.prefill_router = (
+            prefill_router
+            if isinstance(prefill_router, Router)
+            else make_router(prefill_router)
+        )
+        self.decode_router = (
+            decode_router
+            if isinstance(decode_router, Router)
+            else make_router(decode_router)
+        )
+        self.sim = None
+        self.prefill_pool: Sequence = ()
+        self.decode_pool: Sequence = ()
+        self.elastic = None
+        self._tracer = None
+        # Requests between arrival and decode-side submission: the gap
+        # where neither pool's outstanding count covers them (the clone
+        # finished, the original is still riding the fabric), read by
+        # ``FleetServer._work_remaining`` so control loops keep ticking.
+        self.inflight = 0
+
+    @property
+    def name(self) -> str:
+        return (
+            f"disagg[{self.num_prefill}p:{self.prefill_router.name}"
+            f"/{self.decode_router.name}]"
+        )
+
+    def reset(self, sim, replicas: Sequence, elastic, obs=None) -> None:
+        """Arm the dispatcher for one fleet run (called by ``_serve``)."""
+        if self.num_prefill >= len(replicas):
+            raise ValueError(
+                f"num_prefill={self.num_prefill} leaves no decode replicas "
+                f"(fleet has {len(replicas)})"
+            )
+        self.sim = sim
+        self.prefill_pool = replicas[: self.num_prefill]
+        self.decode_pool = replicas[self.num_prefill :]
+        self.elastic = elastic
+        self._tracer = obs.tracer if obs is not None else None
+        self.inflight = 0
+        for handle in self.prefill_pool:
+            if not getattr(handle.server, "prefix_cache", None):
+                raise ValueError(
+                    "disaggregated dispatch requires prefix_cache on every "
+                    f"replica (replica {handle.replica_id} has none)"
+                )
+
+    # -- the two-stage path ----------------------------------------------------
+
+    def dispatch(self, request: Request) -> None:
+        """Stage 1: run the arrival's prefill as a clone on the prefill
+        pool; the handoff chains off the clone's completion hook."""
+        now = self.sim.now
+        self.inflight += 1
+        if request.token_ids is None:
+            request.token_ids = _synthetic_tokens(request)
+        src = self._pick(self.prefill_router, request, self.prefill_pool, now)
+        clone = Request(
+            request_id=request.request_id + CLONE_ID_OFFSET,
+            input_len=request.input_len,
+            output_len=1,
+            arrival_time=now,
+            token_ids=request.token_ids,
+        )
+        clone.on_finish = lambda finish_time: self._handoff(
+            request, clone, src, finish_time
+        )
+        src.submit_shadow(clone)
+        self._audit(
+            now, "disagg_prefill",
+            replica=src.replica_id, request=request.request_id,
+            tokens=request.input_len,
+        )
+
+    def _handoff(self, request: Request, clone: Request, src, now: float) -> None:
+        """Stage 2: ship the prefilled KV to a decode replica, then
+        submit the original there after the fabric delay."""
+        dst = self._pick(self.decode_router, request, self.decode_pool, now)
+        if clone.generated == 0:
+            # The clone aborted (prompt did not fit the prefill replica):
+            # nothing to ship, the decode replica prefills from scratch.
+            self._audit(
+                now, "disagg_fallback",
+                replica=dst.replica_id, request=request.request_id,
+            )
+            self._deliver(request, dst)
+            return
+        tokens = src.export_prefix(request)
+        imported = dst.import_prefix(tokens, now) if tokens else 0
+        delay = 0.0
+        if imported > 0:
+            src.note_prefix_export(imported)
+            handoff = PrefixHandoff(
+                request_id=request.request_id,
+                src_replica=src.replica_id,
+                dst_replica=dst.replica_id,
+                num_tokens=imported,
+                reprefill_tokens=max(0, request.input_len - 1 - imported),
+            )
+            delay = handoff.cost(*self.pricing)
+            elastic = self.elastic
+            if elastic is not None:
+                elastic.disagg_handoffs += 1
+                elastic.disagg_handoff_tokens += imported
+                elastic.disagg_handoff_seconds += delay
+                elastic.disagg_reprefill_tokens += handoff.reprefill_tokens
+        self._audit(
+            now, "disagg_handoff",
+            replica=dst.replica_id, request=request.request_id,
+            src=src.replica_id, tokens=imported, seconds=round(delay, 6),
+        )
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled and delay > 0.0:
+            tracer.transition(
+                request.request_id, "migrating", now, replica=dst.replica_id
+            )
+        if delay > 0.0:
+            self.sim.call_after(
+                delay,
+                (lambda: self._deliver(request, dst)),
+                label=f"disagg-handoff:{request.request_id}",
+            )
+        else:
+            self._deliver(request, dst)
+
+    def _deliver(self, request: Request, dst) -> None:
+        dst.submit(request)
+        self.inflight -= 1
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _pick(self, router: Router, request: Request, pool: Sequence, now: float):
+        """Route over one pool with the same liveness fallback chain
+        :meth:`ClusterPolicy.place` uses for the whole fleet."""
+        available = [r for r in pool if r.available]
+        if len(available) == len(pool):
+            candidates: Sequence = pool
+        elif available:
+            candidates = available
+        else:
+            candidates = [
+                r for r in pool if getattr(r, "placeable", True)
+            ] or list(pool)
+        return router.route(request, candidates, now)
+
+    def _audit(self, now: float, kind: str, **payload) -> None:
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.audit(now, kind, component="disagg", **payload)

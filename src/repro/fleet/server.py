@@ -74,6 +74,10 @@ class ReplicaHandle:
         self.draining = False
         self.crashed = False
         self.warming = False
+        # Warm standby (repro.fleet.disagg / make_fleet(standby=N)): the
+        # replica starts parked with weights resident, so an autoscaler
+        # promotion skips the weight-load warm-up entirely.
+        self.standby = False
         self._kv_sources: list[tuple[int, object]] | None = None
 
     @property
@@ -112,7 +116,7 @@ class ReplicaHandle:
         self.routed_tokens = 0
         self.stolen_in = 0
         self.stolen_out = 0
-        self.online = True
+        self.online = not self.standby  # standby replicas start parked
         self.draining = False
         self.crashed = False
         self.warming = False
@@ -120,6 +124,20 @@ class ReplicaHandle:
 
     def submit(self, request: Request) -> None:
         self.routed.append(request)
+        self._active.append(request)
+        self.routed_tokens += request.input_len + request.output_len
+        self.server.submit(request)
+
+    def submit_shadow(self, request: Request) -> None:
+        """Submit a request that must not appear in the fleet result.
+
+        The disaggregated dispatcher's prefill-stage clones run here for
+        real — they occupy the queue, the pool, and the probe surface
+        (``_active``/``routed_tokens``), so routers and the autoscaler
+        see the load — but stay out of ``routed``, which is what
+        :meth:`result` reports: each arrival is counted exactly once
+        fleet-wide, by the decode replica that serves its real decode.
+        """
         self._active.append(request)
         self.routed_tokens += request.input_len + request.output_len
         self.server.submit(request)
@@ -378,7 +396,15 @@ class ReplicaHandle:
 
     def result(self, makespan: float) -> ServeResult:
         """Per-replica ``ServeResult`` over the requests routed here."""
-        aborted = self._collect("aborted")
+        from repro.fleet.disagg import CLONE_ID_OFFSET
+
+        # Shadow prefill clones (disaggregated dispatch) never appear in
+        # the fleet result: their original is delivered elsewhere, so an
+        # aborted clone here would double-count the request.
+        aborted = [
+            r for r in self._collect("aborted")
+            if r.request_id < CLONE_ID_OFFSET
+        ]
         aborted_ids = {r.request_id for r in aborted}
         stats = self._collect("iteration_stats")
         cache = getattr(self.server, "prefix_cache", None)
@@ -390,7 +416,7 @@ class ReplicaHandle:
             iteration_stats=sorted(stats, key=lambda s: s.start_time),
             makespan=makespan,
             aborted=aborted,
-            cache_stats=cache.stats.as_dict() if cache is not None else None,
+            cache_stats=cache.stats_dict() if cache is not None else None,
             qos_stats=ledger.as_dict() if ledger is not None else None,
         )
 
@@ -433,6 +459,7 @@ class FleetServer:
         policy: ClusterPolicy | None = None,
         control_interval: float = DEFAULT_CONTROL_INTERVAL,
         sharded: bool = True,
+        disagg=None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -441,6 +468,13 @@ class FleetServer:
         self.replicas = [
             ReplicaHandle(i, server) for i, server in enumerate(replicas)
         ]
+        # Disaggregated two-stage dispatch (repro.fleet.disagg): when
+        # armed, arrivals prefill on one pool and hand their KV to a
+        # decode pool over the fabric instead of taking the policy's
+        # route-once path.
+        self.disagg = disagg
+        if disagg is not None and len(self.replicas) < 2:
+            raise ValueError("disaggregated dispatch needs at least 2 replicas")
         self.policy = policy if policy is not None else ClusterPolicy(router)
         self.router = self.policy.router  # back-compat alias
         self.control_interval = control_interval
@@ -501,8 +535,9 @@ class FleetServer:
         controller: FleetController | None = None
         elastic: ElasticStats | None = None
         self._controller = None
-        if self.policy.has_actuators:
+        if self.policy.has_actuators or self.disagg is not None:
             elastic = ElasticStats()
+        if self.policy.has_actuators:
             controller = self._controller = FleetController(
                 policy=self.policy,
                 replicas=self.replicas,
@@ -510,6 +545,13 @@ class FleetServer:
                 stats=elastic,
                 interval=self.control_interval,
                 work_remaining=self._work_remaining,
+                obs=obs,
+            )
+        if self.disagg is not None:
+            self.disagg.reset(
+                sim=sim,
+                replicas=self.replicas,
+                elastic=elastic,
                 obs=obs,
             )
         for request in requests:
@@ -551,6 +593,8 @@ class FleetServer:
         """Anything left for the control loop to manage?"""
         if self._remaining_arrivals > 0:
             return True
+        if self.disagg is not None and self.disagg.inflight > 0:
+            return True
         return any(h.outstanding_requests() > 0 for h in self.replicas)
 
     def _place_arrival(self, request: Request, sim: Simulator) -> None:
@@ -560,6 +604,9 @@ class FleetServer:
             request
         ):
             return  # every replica is dead or warming; limbo holds it
+        if self.disagg is not None:
+            self.disagg.dispatch(request)
+            return
         handle = self.policy.place(request, self.replicas, sim.now)
         handle.submit(request)
 

@@ -62,13 +62,18 @@ class MigrationPlan:
         tensor_parallel: int,
     ) -> float:
         """Wall-clock seconds, assuming steps between distinct pairs overlap
-        and steps sharing a source serialise."""
-        per_src: dict[int, float] = {}
+        and steps sharing *either* endpoint serialise (a source's NIC sends
+        one stream at a time, and a destination's NIC likewise receives one
+        at a time — many-to-one fan-in is not free)."""
+        per_endpoint: dict[tuple[str, int], float] = {}
         for step in self.steps:
             kv_bytes = step.num_tokens * model.kv_bytes_per_token
             t = collectives.migration_time(kv_bytes, step.src, step.dst, tensor_parallel)
-            per_src[step.src] = per_src.get(step.src, 0.0) + t
-        return max(per_src.values(), default=0.0)
+            src_key = ("src", step.src)
+            dst_key = ("dst", step.dst)
+            per_endpoint[src_key] = per_endpoint.get(src_key, 0.0) + t
+            per_endpoint[dst_key] = per_endpoint.get(dst_key, 0.0) + t
+        return max(per_endpoint.values(), default=0.0)
 
 
 @dataclass(frozen=True, slots=True)

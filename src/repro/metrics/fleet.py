@@ -105,6 +105,14 @@ class ElasticStats:
     # capacity only.  Both are replica-seconds added to the bill.
     warmup_seconds: float = 0.0
     cooldown_seconds: float = 0.0
+    # Disaggregated serving (``repro.fleet.disagg``): prefill-pool ->
+    # decode-pool KV handoffs over the priced fabric, and the prefix
+    # tokens the decode side had to re-prefill when an import fell
+    # short (dropped by the destination's pool pressure).
+    disagg_handoffs: int = 0
+    disagg_handoff_tokens: int = 0
+    disagg_handoff_seconds: float = 0.0
+    disagg_reprefill_tokens: int = 0
 
     def record_capacity(self, now: float, online: int) -> None:
         """Append a capacity transition (deduplicated against the last)."""
@@ -207,6 +215,13 @@ class ElasticStats:
             f"kv migration: {self.migrated_kv_tokens:,} tokens in "
             f"{self.migrations} transfers ({self.migration_seconds * 1000:.1f} ms modelled)"
         )
+        if self.disagg_handoffs:
+            lines.append(
+                f"disagg handoffs: {self.disagg_handoff_tokens:,} tokens in "
+                f"{self.disagg_handoffs} prefill->decode transfers "
+                f"({self.disagg_handoff_seconds * 1000:.1f} ms modelled, "
+                f"{self.disagg_reprefill_tokens:,} re-prefill tokens)"
+            )
         if self.warmup_seconds or self.cooldown_seconds:
             lines.append(
                 f"lifecycle: {self.warmup_seconds:.2f}s warm-up + "
@@ -238,6 +253,10 @@ class ReplicaLoad:
     # Prefix-cache counters (0 on replicas serving without a cache).
     prefix_hit_tokens: int = 0
     prefix_miss_tokens: int = 0
+    # KV tier counters (0 on replicas without host/SSD offload armed).
+    tier_offloaded_tokens: int = 0
+    tier_swapped_in_tokens: int = 0
+    tier_swap_in_seconds: float = 0.0
 
     @property
     def total_tokens(self) -> int:
@@ -291,6 +310,13 @@ class FleetLoadReport:
             r.prefix_hit_tokens or r.prefix_miss_tokens for r in self.replicas
         )
 
+    @property
+    def has_kv_tiers(self) -> bool:
+        return any(
+            r.tier_offloaded_tokens or r.tier_swapped_in_tokens
+            for r in self.replicas
+        )
+
     def render(self) -> str:
         """Text table for the CLI."""
         with_cache = self.has_prefix_caches
@@ -317,6 +343,14 @@ class FleetLoadReport:
         if with_cache:
             lines.append(
                 f"prefix cache: {self.saved_prefill_tokens:,} prefill tokens saved"
+            )
+        if self.has_kv_tiers:
+            offloaded = sum(r.tier_offloaded_tokens for r in self.replicas)
+            swapped = sum(r.tier_swapped_in_tokens for r in self.replicas)
+            seconds = sum(r.tier_swap_in_seconds for r in self.replicas)
+            lines.append(
+                f"kv tiers: {offloaded:,} tokens offloaded, {swapped:,} "
+                f"swapped back in ({seconds * 1000:.1f} ms charged)"
             )
         if self.qos_stats:
             for name in sorted(self.qos_stats):
@@ -356,6 +390,9 @@ def fleet_load_report(
                 busy_seconds=sum(s.duration for s in result.iteration_stats),
                 prefix_hit_tokens=int(cache.get("hit_tokens", 0)),
                 prefix_miss_tokens=int(cache.get("miss_tokens", 0)),
+                tier_offloaded_tokens=int(cache.get("tier_offloaded_tokens", 0)),
+                tier_swapped_in_tokens=int(cache.get("tier_swapped_in_tokens", 0)),
+                tier_swap_in_seconds=float(cache.get("tier_swap_in_seconds", 0.0)),
             )
         )
     if makespan is None:

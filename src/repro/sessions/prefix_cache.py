@@ -115,12 +115,21 @@ class PrefixKVCache:
         pool: UnifiedKVPool,
         stats: PrefixCacheStats | None = None,
         max_cached_tokens: int | None = None,
+        tiers=None,
     ) -> None:
         self.pool = pool
         self.root = _Node(tokens=(), parent=None, owner=0)
         self._owner_ids = itertools.count(1)
         self._locks: dict[int, list[_Node]] = {}
         self._resident_tokens = 0
+        # Host/SSD offload tiers (repro.kvcache.tiers.TieredKVStore).
+        # When armed, evicted extents demote into the store instead of
+        # vanishing, and match_and_lock swaps extending extents back up,
+        # charging the transfer via the per-request swap-debt ledger the
+        # server drains into the prefill duration.  None = pre-tier
+        # behaviour, bit-identical.
+        self.tiers = tiers
+        self._swap_debt: dict[int, float] = {}
         # Capacity budget: the cache shares the pool with live request KV,
         # so an unbounded tree would slowly convert serving capacity into
         # cold history.  When set, every insert is followed by LRU
@@ -163,6 +172,8 @@ class PrefixKVCache:
         self.release(request.request_id)
         if not request.token_ids:
             return 0
+        if self.tiers is not None:
+            self._tier_fill(request, now)
         path, matched = self._walk(request.token_ids)
         cap = min(matched, request.input_len - 1)
         if cap <= 0:
@@ -194,6 +205,40 @@ class PrefixKVCache:
         the request holds none."""
         for node in self._locks.pop(request_id, ()):
             node.ref -= 1
+
+    def _tier_fill(self, request: Request, now: float) -> None:
+        """Swap an offloaded extent back up when it extends the match.
+
+        Runs before the GPU-tree walk so the re-imported extent is
+        matched and pinned by the same tick.  The transfer's wall-clock
+        cost lands in the swap-debt ledger; :meth:`take_swap_debt`
+        drains it into the benefiting prefill's duration."""
+        token_ids = request.token_ids
+        _, resident = self._walk(token_ids)
+        if resident >= request.input_len - 1:
+            return  # GPU residency already covers everything usable
+        usable, seconds = self.tiers.fetch(token_ids, resident, now)
+        if usable <= resident:
+            return
+        self.import_prefix(token_ids[:usable], now, count_import=False)
+        if seconds > 0.0:
+            self._swap_debt[request.request_id] = (
+                self._swap_debt.get(request.request_id, 0.0) + seconds
+            )
+
+    def take_swap_debt(self, request_id: int) -> float:
+        """Drain the request's accumulated swap-in seconds (charged once,
+        by the prefill launch that benefits from the swapped-in extent)."""
+        if not self._swap_debt:
+            return 0.0
+        return self._swap_debt.pop(request_id, 0.0)
+
+    def stats_dict(self) -> dict[str, float]:
+        """Cache counters, plus tier flow counters when tiers are armed."""
+        out = self.stats.as_dict()
+        if self.tiers is not None:
+            out.update(self.tiers.stats.as_dict())
+        return out
 
     def note_prefill(self, request: Request) -> None:
         """Account one prefill launch against the hit/miss counters."""
@@ -266,7 +311,9 @@ class PrefixKVCache:
         """Account tokens a peer replica successfully imported from here."""
         self.stats.exported_tokens += num_tokens
 
-    def import_prefix(self, token_ids: tuple[int, ...], now: float) -> int:
+    def import_prefix(
+        self, token_ids: tuple[int, ...], now: float, count_import: bool = True
+    ) -> int:
         """Install a migrated prefix extent shipped from a peer replica.
 
         The already-resident part of ``token_ids`` is skipped (the
@@ -307,7 +354,8 @@ class PrefixKVCache:
         node = _Node(tokens=tail, parent=parent, owner=owner, last_access=now)
         parent.children[tail[0]] = node
         self._resident_tokens += len(tail)
-        self.stats.imported_tokens += len(tail)
+        if count_import:  # tier swap-ins are local, not cross-replica traffic
+            self.stats.imported_tokens += len(tail)
         self.stats.inserted_tokens += len(tail)
         self._enforce_budget()
         return len(tail)
@@ -390,6 +438,21 @@ class PrefixKVCache:
         placement = self.pool.placement_of(node.owner)
         released = self.pool.evict(node.owner)
         assert node.parent is not None  # root is never evicted
+        if self.tiers is not None:
+            # Demote instead of dropping: the full root-to-leaf sequence
+            # keys the extent, the payload is only this node's span (the
+            # ancestors stay GPU-resident).
+            parts = []
+            walk = node.parent
+            while walk is not None:
+                parts.append(walk.tokens)
+                walk = walk.parent
+            prefix: tuple[int, ...] = ()
+            for part in reversed(parts):
+                prefix += part
+            self.tiers.offload(
+                prefix + node.tokens, len(prefix), now=node.last_access
+            )
         del node.parent.children[node.tokens[0]]
         self._resident_tokens -= len(node.tokens)
         self.stats.evicted_tokens += released

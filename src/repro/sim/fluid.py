@@ -81,6 +81,10 @@ class FluidStepper:
         # iterations they replaced.
         self.windows = 0
         self.iterations_absorbed = 0
+        # Per-request fluid-window history, shared by reference with the
+        # open decode span's attrs so each new window shows up in the
+        # exported span without re-transitioning (tracing-on only).
+        self._span_windows: dict[int, list] = {}
 
     # -- window planning ---------------------------------------------------
 
@@ -284,12 +288,31 @@ class FluidStepper:
                 )
             )
             if server.trace.enabled:
+                replica = getattr(server, "obs_replica", 0)
                 server.trace.audit(
                     now, "fluid_window", component="scheduler",
-                    replica=getattr(server, "obs_replica", 0),
+                    replica=replica,
                     batch=batch.batch_id, iterations=n,
                     duration=round(duration, 4),
                 )
+                # Sub-divide each member's decode span: one
+                # (window_start, window_end, tokens_advanced) entry per
+                # window.  The list is shared by reference with the open
+                # span's attrs, so a same-phase transition merges and
+                # later appends land in the exported span.
+                w_start = round(now, 6)
+                w_end = round(now + duration, 6)
+                for request in batch.requests:
+                    left = request.output_len - request.generated
+                    advanced = n if left > n else left
+                    windows = self._span_windows.setdefault(
+                        request.request_id, []
+                    )
+                    windows.append((w_start, w_end, advanced))
+                    server.trace.transition(
+                        request.request_id, "decode", now,
+                        replica=replica, fluid_windows=windows,
+                    )
             # Snapshot membership: requests joining at exactly the
             # window-end timestamp (a prefill completing there) must not
             # be credited with this window's tokens.
@@ -346,6 +369,7 @@ class FluidStepper:
                 request.generated += n
                 server._generated_total += n
                 if request.generated >= request.output_len:
+                    self._span_windows.pop(request.request_id, None)
                     server._finish_request(request)
             batch.remove_finished()
             batch.running = False

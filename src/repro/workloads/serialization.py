@@ -86,7 +86,7 @@ def records_to_trace(records: Iterable[dict]) -> list[Request]:
                 ),
             )
         )
-    requests.sort(key=lambda r: r.arrival_time)
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
     return requests
 
 

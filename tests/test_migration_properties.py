@@ -134,6 +134,28 @@ class TestMigrationPlanBasics:
         )
         assert MigrationPlan().cost(collectives, LWM_7B_1M, 2) == 0.0
 
+    def test_cost_serialises_many_to_one_fan_in(self, cluster8):
+        from repro.costmodel.comm import CollectiveModel
+        from repro.model.spec import LWM_7B_1M
+
+        collectives = CollectiveModel(cluster=cluster8)
+        fan_in = MigrationPlan(
+            steps=[
+                MigrationStep(request_id=i, src=i, dst=3, num_tokens=500)
+                for i in range(3)
+            ]
+        )
+        singles = [
+            MigrationPlan(steps=[step]).cost(collectives, LWM_7B_1M, 2)
+            for step in fan_in.steps
+        ]
+        # Three sources shipping into one destination serialise on the
+        # receiver's NIC: the plan costs the sum of its steps, not the
+        # max (which is what distinct-pair overlap would give).
+        cost = fan_in.cost(collectives, LWM_7B_1M, 2)
+        assert cost == pytest.approx(sum(singles))
+        assert cost > max(singles)
+
     def test_prefix_handoff_cost_scales_with_volume(self, cluster8):
         from repro.costmodel.comm import CollectiveModel
         from repro.model.spec import LWM_7B_1M

@@ -42,6 +42,41 @@ class TestRoundTrip:
         trace = records_to_trace(records)
         assert [r.request_id for r in trace] == [2, 1]
 
+    def test_tied_arrivals_load_deterministically_and_serve_identically(
+        self, tmp_path
+    ):
+        from repro.config import default_config
+        from repro.core.server import LoongServeServer
+        from repro.workloads.datasets import SHAREGPT
+        from repro.workloads.trace_gen import clone_requests
+
+        trace = make_trace(SHAREGPT, rate=4.0, num_requests=12, seed=9)
+        for i, request in enumerate(trace):
+            request.arrival_time = float(i // 3)  # groups of tied arrivals
+        path = tmp_path / "tied.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert [r.request_id for r in loaded] == [r.request_id for r in trace]
+        # Shuffled records still load in the same canonical order: the
+        # sort key is (arrival_time, request_id), so on-disk record
+        # order cannot leak into serving.
+        shuffled = records_to_trace(list(reversed(trace_to_records(trace))))
+        assert [r.request_id for r in shuffled] == [
+            r.request_id for r in loaded
+        ]
+
+        def signature(result):
+            return sorted(
+                (r.request_id, round(r.finish_time, 12))
+                for r in result.requests
+            )
+
+        original = LoongServeServer(default_config()).run(clone_requests(trace))
+        round_tripped = LoongServeServer(default_config()).run(
+            clone_requests(shuffled)
+        )
+        assert signature(round_tripped) == signature(original)
+
     def test_records_exclude_runtime_state(self):
         trace = make_trace(MIXED, rate=1.0, num_requests=2, seed=7)
         records = trace_to_records(trace)
