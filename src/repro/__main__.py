@@ -198,10 +198,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        if args.steal:
-            print("error: --disagg and --steal are incompatible",
-                  file=sys.stderr)
-            return 2
     if args.kv_tiers and not args.prefix_cache:
         print(
             "error: --kv-tiers offloads prefix-cache extents; "
@@ -232,13 +228,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             "error: --fault-at/--fault-mtbf need a fleet (--replicas >= 2); "
             "a single crashed replica has no survivors to fail over to",
-            file=sys.stderr,
-        )
-        return 2
-    if faults_requested and args.disagg:
-        print(
-            "error: --disagg and failure injection are incompatible: a "
-            "handoff source crashing mid-transfer is not modelled",
             file=sys.stderr,
         )
         return 2
@@ -362,7 +351,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             kv_tiers=args.kv_tiers,
         )
     obs = None
-    if args.trace_out or args.telemetry_interval is not None:
+    if (
+        args.trace_out
+        or args.telemetry_interval is not None
+        or args.slo_monitor
+    ):
         from repro.obs import DEFAULT_TELEMETRY_INTERVAL, Observability
 
         obs = Observability(
@@ -372,6 +365,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 else DEFAULT_TELEMETRY_INTERVAL
             )
         )
+        if args.slo_monitor:
+            obs.enable_health()
         if hasattr(system, "observe"):
             system.observe(obs)
         else:
@@ -467,6 +462,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if obs.metrics.sample_times:
             print("\ntelemetry:")
             print(obs.metrics.render_timeline())
+        if obs.health is not None:
+            alerts = [r for r in obs.tracer.records if r.kind == "slo_alert"]
+            fired = sum(1 for r in alerts if r.payload["state"] == "firing")
+            print(f"\nSLO burn-rate monitor: {fired} alert(s) fired")
+            for record in alerts:
+                payload = record.payload
+                print(
+                    f"  [{record.time:8.2f}s] {payload['cls']}: "
+                    f"{payload['state']}  "
+                    f"burn {payload['burn_fast']}x fast / "
+                    f"{payload['burn_slow']}x slow, "
+                    f"attainment {payload['attainment']:.1%}"
+                )
     return 0
 
 
@@ -577,6 +585,11 @@ def main(argv: list[str] | None = None) -> int:
                             "a fleet control loop, samples ride the control "
                             "ticks instead); arms telemetry even without "
                             "--trace-out")
+    serve.add_argument("--slo-monitor", action="store_true",
+                       help="arm the SLO burn-rate monitor: rolling per-class "
+                            "attainment + multi-window burn-rate gauges and "
+                            "hysteresis-gated slo_alert audit records (pure "
+                            "observer; requires deadlines, i.e. --qos-mix)")
     serve.set_defaults(func=cmd_serve)
 
     gen = sub.add_parser("gen-trace", help="generate and save a jsonl trace")

@@ -131,6 +131,11 @@ class LoongServeServer:
         # Bumped by crash(): scheduled callbacks from before the crash
         # must never touch the rebuilt state (see _guarded).
         self._epoch = 0
+        # Interference-free decode price per finished (input_len,
+        # generated) shape — stamped on the final span for latency
+        # forensics (repro.obs.forensics splits decode into ideal vs
+        # stretch).  Memoised: traces repeat shapes constantly.
+        self._ideal_decode_memo: dict[tuple[int, int], float] = {}
 
     def _make_tiers(self):
         """Host/SSD offload tiers for the prefix cache, when configured."""
@@ -139,12 +144,20 @@ class LoongServeServer:
             return None
         from repro.kvcache.tiers import TieredKVStore
 
-        return TieredKVStore(
+        store = TieredKVStore(
             policy=scheduler.kv_tier_policy,
             host_capacity_tokens=scheduler.kv_host_tokens,
             ssd_capacity_tokens=scheduler.kv_ssd_tokens,
             bytes_per_token=self.config.model.kv_bytes_per_token,
         )
+        if self._obs is not None:
+            # Standalone runs _reset() inside run(), after observe():
+            # re-arm the fresh store's sinks here (fleet runs arm them
+            # in observe(), which follows prepare()'s _reset).
+            store.observe(
+                self._obs.tracer, self._obs.metrics, replica=self.obs_replica
+            )
+        return store
 
     # -- public API -----------------------------------------------------------
 
@@ -248,6 +261,10 @@ class LoongServeServer:
         self._obs = obs
         self.trace = obs.tracer
         self.obs_replica = replica
+        if self.prefix_cache is not None and self.prefix_cache.tiers is not None:
+            self.prefix_cache.tiers.observe(
+                obs.tracer, obs.metrics, replica=replica
+            )
 
     def submit(self, request: Request) -> None:
         """External enqueue from a dispatcher (e.g. a fleet router)."""
@@ -712,23 +729,28 @@ class LoongServeServer:
             self.config.tensor_parallel,
         )
         duration += self.config.scheduler.scheduling_overhead_s
+        swap_debts: list[float] = []
         if self.prefix_cache is not None and self.prefix_cache.tiers is not None:
             # Swap-in debt: extents fetched up from the host/SSD tiers for
             # these requests ride the PCIe/NVMe path before the prefill
             # can read them; the transfers serialise on the local bus.
-            swap_s = sum(
+            swap_debts = [
                 self.prefix_cache.take_swap_debt(r.request_id)
                 for r in task.requests
-            )
+            ]
+            swap_s = sum(swap_debts)
             if swap_s > 0.0:
                 duration += swap_s
                 if self.trace.enabled:
-                    self.trace.audit(
-                        self.sim.now, "kv_swap_in", component="kvcache",
-                        replica=self.obs_replica,
-                        requests=len(task.requests),
-                        seconds=round(swap_s, 6),
-                    )
+                    for request, debt in zip(task.requests, swap_debts):
+                        if debt > 0.0:
+                            self.trace.audit(
+                                self.sim.now, "kv_swap_in",
+                                component="kvcache",
+                                replica=self.obs_replica,
+                                request=request.request_id,
+                                seconds=round(debt, 9),
+                            )
         task.started_at = self.sim.now
         task.duration = duration
 
@@ -758,11 +780,19 @@ class LoongServeServer:
                 group=list(task.group.instance_ids),
                 duration=round(duration, 4),
             )
-            for request in task.requests:
-                self.trace.transition(
-                    request.request_id, "prefill", now, replica=replica,
+            for idx, request in enumerate(task.requests):
+                attrs = dict(
                     batch=task.batch_id, dop=task.dop,
                     group=list(task.group.instance_ids),
+                )
+                if idx < len(swap_debts) and swap_debts[idx] > 0.0:
+                    # Tier swap-in debt folded into this prefill's
+                    # duration — forensics carves it back out of the
+                    # span as its own blame category.
+                    attrs["swap_s"] = round(swap_debts[idx], 9)
+                self.trace.transition(
+                    request.request_id, "prefill", now, replica=replica,
+                    **attrs,
                 )
         self.sim.call_after(
             planned.start_delay + duration,
@@ -1113,7 +1143,39 @@ class LoongServeServer:
                 now, "finish", component="server", replica=self.obs_replica,
                 request=request.request_id,
             )
-            self.trace.end_span(request.request_id, now)
+            # Stamp the final span with what forensics needs to read a
+            # story without the Request object: the QoS class / session
+            # for aggregation, and the interference-free decode price
+            # for the ideal-vs-stretch split.
+            attrs: dict = {}
+            if request.effective_qos is not None:
+                attrs["qos"] = request.effective_qos
+            if request.session_id is not None:
+                attrs["session"] = request.session_id
+            ideal = self._ideal_decode_s(request)
+            if ideal > 0.0:
+                attrs["ideal_decode_s"] = round(ideal, 9)
+            self.trace.end_span(request.request_id, now, **attrs)
+
+    def _ideal_decode_s(self, request: Request) -> float:
+        """Interference-free decode seconds for a finished request: the
+        :class:`~repro.metrics.slo.IdealLatencyModel` decode recipe
+        (single instance, mean context), priced over the tokens actually
+        generated."""
+        steps = request.generated - 1
+        if steps <= 0:
+            return 0.0
+        key = (request.input_len, request.generated)
+        cached = self._ideal_decode_memo.get(key)
+        if cached is None:
+            per_step = self.cost_model.decode_time(
+                [request.input_len + request.generated // 2],
+                [0],
+                self.config.tensor_parallel,
+            )
+            cached = steps * per_step
+            self._ideal_decode_memo[key] = cached
+        return cached
 
     def _reclaim_cached(self, num_tokens: int, instance_ids: list[int]) -> bool:
         """Evict unlocked cache extents on ``instance_ids``; True when any

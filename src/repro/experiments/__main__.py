@@ -265,12 +265,17 @@ def _main_explain(argv: list[str]) -> int:
                         help="reconstruct this request's lifecycle story")
     parser.add_argument("--diff", default=None, metavar="PATH",
                         help="second export: print a per-metric telemetry "
-                             "diff (--trace-in vs --diff) instead of a story")
+                             "diff plus a latency blame diff (--trace-in vs "
+                             "--diff) instead of a story")
+    parser.add_argument("--top", type=int, default=5, metavar="K",
+                        help="--diff only: list the K most-regressed requests")
     args = parser.parse_args(argv)
 
     data = load_export(args.trace_in)
     if args.diff is not None:
         import os
+
+        from repro.obs import attribute, diff_blame
 
         other = load_export(args.diff)
         label_a = os.path.basename(args.trace_in) or args.trace_in
@@ -279,6 +284,15 @@ def _main_explain(argv: list[str]) -> int:
             label_a, label_b = args.trace_in, args.diff
         print(f"telemetry diff: {args.trace_in} vs {args.diff}")
         print(diff_telemetry(data, other, label_a=label_a, label_b=label_b))
+        blame_a, blame_b = attribute(data), attribute(other)
+        if blame_a.requests and blame_b.requests:
+            print()
+            print(
+                diff_blame(
+                    blame_a, blame_b,
+                    label_a=label_a, label_b=label_b, top=args.top,
+                )
+            )
         return 0
     if args.request is None:
         ids = request_ids(data)
@@ -292,6 +306,69 @@ def _main_explain(argv: list[str]) -> int:
             print("rerun with --request ID for one request's story")
         return 0
     print(request_story(data, args.request))
+    return 0
+
+
+def _main_forensics(argv: list[str]) -> int:
+    """`python -m repro.experiments forensics` — blame a run's latency.
+
+    Builds the exact critical-path blame partition for every finished
+    request in an export and renders the forensics report: per-category
+    totals, per-QoS blame, and ASCII blame timelines for the slowest
+    requests.  With ``--diff``, attributes the latency delta between
+    two runs instead.
+    """
+    from repro.obs import (
+        attribute,
+        diff_blame,
+        load_export,
+        render_report,
+        verify_partition,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments forensics",
+        description="Critical-path blame attribution for an observability "
+                    "export: where did every request's latency go?",
+    )
+    parser.add_argument("--trace-in", required=True, metavar="PATH",
+                        help="export written by `python -m repro serve "
+                             "--trace-out` (Perfetto JSON or JSONL)")
+    parser.add_argument("--diff", default=None, metavar="PATH",
+                        help="second export: attribute the run-to-run "
+                             "latency delta instead of reporting one run")
+    parser.add_argument("--top", type=int, default=5, metavar="K",
+                        help="how many slowest/most-regressed requests to "
+                             "detail (default 5)")
+    parser.add_argument("--width", type=int, default=60, metavar="COLS",
+                        help="blame timeline width in characters (default 60)")
+    args = parser.parse_args(argv)
+
+    report_a = attribute(load_export(args.trace_in))
+    if args.diff is not None:
+        import os
+
+        report_b = attribute(load_export(args.diff))
+        label_a = os.path.basename(args.trace_in) or args.trace_in
+        label_b = os.path.basename(args.diff) or args.diff
+        if label_a == label_b:
+            label_a, label_b = args.trace_in, args.diff
+        print(
+            diff_blame(
+                report_a, report_b,
+                label_a=label_a, label_b=label_b, top=args.top,
+            )
+        )
+        return 0
+    print(render_report(report_a, top=args.top, width=args.width))
+    bad = verify_partition(report_a)
+    if bad:
+        worst = max(error for _, error in bad)
+        print(
+            f"\nWARNING: {len(bad)} request(s) violate the exact-partition "
+            f"invariant (max error {worst:.3g}s)"
+        )
+        return 1
     return 0
 
 
@@ -317,12 +394,15 @@ def main(argv: list[str] | None = None) -> int:
     raw = sys.argv[1:] if argv is None else argv
     if raw and raw[0] == "explain":
         return _main_explain(raw[1:])
+    if raw and raw[0] == "forensics":
+        return _main_forensics(raw[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate LoongServe paper figures on the simulated "
-                    "substrate (or `explain` an observability export).",
+                    "substrate (or `explain`/`forensics` an observability "
+                    "export).",
     )
-    parser.add_argument("figure", choices=[*FIGURES, "all", "explain"])
+    parser.add_argument("figure", choices=[*FIGURES, "all", "explain", "forensics"])
     parser.add_argument(
         "--scale",
         type=float,

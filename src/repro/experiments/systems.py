@@ -246,8 +246,11 @@ def make_fleet(
     the first ``N`` replicas a dedicated prefill pool and the rest the
     decode pool — arrivals prefill on the first pool and their KV rides
     the priced fabric to a decode replica (requires ``prefix_cache``;
-    incompatible with ``steal`` and ``faults``, whose relocation paths
-    assume route-once ownership).  ``kv_tiers`` arms host/SSD KV offload
+    composes with ``steal`` — moves never cross the pool boundary and
+    clones are pinned — and with ``faults`` — a prefill-source crash
+    mid-clone degrades to the direct-decode fallback, a decode-side
+    crash re-routes over the surviving pool).  ``kv_tiers`` arms
+    host/SSD KV offload
     on every replica's prefix cache with that victim policy
     (``lru``/``fifo``/``lifo``; capacities via ``kv_host_tokens`` /
     ``kv_ssd_tokens``).  ``standby=N`` appends ``N`` warm standby
@@ -297,16 +300,6 @@ def make_fleet(
             raise ValueError(
                 f"disagg={disagg} must leave both pools non-empty "
                 f"(fleet has {replicas} replicas)"
-            )
-        if steal:
-            raise ValueError(
-                "disagg and steal are incompatible: stealing would relocate "
-                "prefill clones across the pool boundary"
-            )
-        if faults:
-            raise ValueError(
-                "disagg and failure injection are incompatible: a handoff "
-                "source crashing mid-transfer is not modelled"
             )
     if standby:
         if standby < 0:

@@ -172,6 +172,7 @@ class FleetController:
         interval: float = DEFAULT_CONTROL_INTERVAL,
         work_remaining: Callable[[], bool] | None = None,
         obs=None,
+        disagg=None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"control interval must be positive, got {interval}")
@@ -181,6 +182,11 @@ class FleetController:
         self.stats = stats
         self.interval = interval
         self._work_remaining = work_remaining or (lambda: False)
+        # Disaggregated dispatch (repro.fleet.disagg), when armed: steals
+        # must not cross the pool boundary, orphaned shadow clones take
+        # the fallback path instead of failover, and limbo flushes ride
+        # the two-stage dispatch rather than route-once placement.
+        self.disagg = disagg
         # Observability: control-plane decisions are audited into
         # ``obs.tracer`` and telemetry samples ride the control ticks.
         self.obs = obs
@@ -324,6 +330,10 @@ class FleetController:
             self.replicas, now, can_migrate=self.policy.migrator is not None
         )
         for move in moves:
+            if self.disagg is not None and not self.disagg.same_pool(
+                move.src.replica_id, move.dst.replica_id
+            ):
+                continue  # stealing never crosses the prefill/decode split
             if not move.src.withdraw(move.request):
                 continue  # started executing between plan and enact
             reprefill = move.reprefill_tokens
@@ -439,6 +449,17 @@ class FleetController:
         nothing-left case."""
         tracer = self._tracer
         tracing = tracer is not None and tracer.enabled
+        if self.disagg is not None:
+            from repro.fleet.disagg import CLONE_ID_OFFSET
+
+            clones = [r for r in orphans if r.request_id >= CLONE_ID_OFFSET]
+            orphans = [r for r in orphans if r.request_id < CLONE_ID_OFFSET]
+            for clone in clones:
+                # The prefill-stage clone died with its replica: fire the
+                # handoff hook in its aborted state so the original falls
+                # back to a direct decode-pool submission (audited there
+                # as disagg_fallback).
+                self.disagg.clone_failover(clone, now)
         for request in orphans:
             self.stats.failovers += 1
             reprefill = reset_for_failover(request)
@@ -450,7 +471,10 @@ class FleetController:
                     request.request_id, "failover", now, replica=-1
                 )
             if self._can_place():
-                target = self.policy.place(request, self.replicas, now)
+                if self.disagg is not None:
+                    target = self.disagg.failover_target(request, now)
+                else:
+                    target = self.policy.place(request, self.replicas, now)
                 if tracing:
                     self._audit(
                         "failover", replica=target.replica_id,
@@ -475,6 +499,16 @@ class FleetController:
         """
         if self._can_place():
             return False
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            # Limbo wait is observable: the arrival queues on the control
+            # plane (replica -1) until a recovery restores capacity —
+            # without this span the request's story would have a hole
+            # between arrival and its eventual placement.
+            tracer.transition(
+                request.request_id, "queued", self.sim.now,
+                replica=-1, limbo=True,
+            )
         self._limbo.append(request)
         return True
 
@@ -485,7 +519,15 @@ class FleetController:
         held, self._limbo = self._limbo, []
         now = self.sim.now
         for request in held:
-            self.policy.place(request, self.replicas, now).submit(request)
+            if self.disagg is not None and request.prefill_start is None:
+                # A never-started arrival re-enters the two-stage path;
+                # failover orphans (whose clone stage already ran) go
+                # straight back to the decode pool.
+                self.disagg.dispatch(request)
+            elif self.disagg is not None:
+                self.disagg.failover_target(request, now).submit(request)
+            else:
+                self.policy.place(request, self.replicas, now).submit(request)
 
     # -- replica lifecycle -----------------------------------------------------
 
@@ -506,6 +548,7 @@ class FleetController:
             # so promotion is instant.  Crash recovery still pays — the
             # process died, resident or not.
             warmup = 0.0
+            self._audit("standby_promote", replica=handle.replica_id)
         self._audit(
             "warmup", replica=handle.replica_id, action=action,
             warmup_s=warmup, standby=standby,

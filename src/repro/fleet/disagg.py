@@ -32,6 +32,19 @@ If the clone aborts (e.g. the prompt cannot fit the prefill replica's
 pool) the dispatcher falls back to submitting the original directly to
 the decode pool, which prefills from scratch — degraded, never lost.
 
+Faults and work stealing compose with the two-stage path (they were
+gated off in the first cut):
+
+* a prefill-pool crash orphans the shadow clone; the dispatcher fires
+  its handoff hook in the aborted state, so the original takes the
+  direct-decode fallback (full re-prefill on the decode side);
+* a decode-pool crash while the original rides the fabric wipes the
+  just-imported prefix; delivery re-routes over the surviving decode
+  pool and prefills from scratch;
+* the work stealer never relocates clones (their KV must finish where
+  the export will read it) and never moves requests across the pool
+  boundary — the controller filters cross-pool moves.
+
 Token-less requests are given synthetic prompt token ids at dispatch so
 the prefix-cache handoff has a key; the ids are unique per request and
 never collide with workload vocabularies.
@@ -43,11 +56,14 @@ from typing import Sequence
 
 from repro.fleet.router import Router, make_router
 from repro.kvcache.migration import PrefixHandoff
+from repro.obs.tracer import SHADOW_REQUEST_OFFSET
 from repro.types import Request
 
 # Clone ids live far above any workload request id so per-replica
 # bookkeeping (pools, locks, spans) never collides with the original.
-CLONE_ID_OFFSET = 1 << 40
+# Aliases the obs-layer shadow offset so every request-facing view
+# (histograms, blame, explain) agrees on what is internal machinery.
+CLONE_ID_OFFSET = SHADOW_REQUEST_OFFSET
 # Synthetic prompt tokens for token-less requests: unique per (request,
 # position), disjoint from real session vocabularies (which are small).
 _SYNTH_TOKEN_BASE = 1 << 60
@@ -137,6 +153,17 @@ class DisaggDispatcher:
         if request.token_ids is None:
             request.token_ids = _synthetic_tokens(request)
         src = self._pick(self.prefill_router, request, self.prefill_pool, now)
+        if not getattr(src, "placeable", True):
+            # The whole prefill pool is down (crashed/warming): a shadow
+            # clone would sit in a dead queue.  Skip the two-stage path
+            # and let the decode side prefill from scratch.
+            dst = self.failover_target(request, now)
+            self._audit(
+                now, "disagg_fallback",
+                replica=dst.replica_id, request=request.request_id,
+            )
+            self._deliver(request, dst)
+            return
         clone = Request(
             request_id=request.request_id + CLONE_ID_OFFSET,
             input_len=request.input_len,
@@ -153,6 +180,16 @@ class DisaggDispatcher:
             replica=src.replica_id, request=request.request_id,
             tokens=request.input_len,
         )
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            # The original request's first span: it has no server-side
+            # story until the decode submission, so the dispatcher owns
+            # the arrival → handoff window (the clone's spans live under
+            # its offset id and never merge with the original's).
+            tracer.transition(
+                request.request_id, "disagg_handoff", now,
+                replica=src.replica_id, stage="prefill",
+            )
 
     def _handoff(self, request: Request, clone: Request, src, now: float) -> None:
         """Stage 2: ship the prefilled KV to a decode replica, then
@@ -194,7 +231,9 @@ class DisaggDispatcher:
         tracer = self._tracer
         if tracer is not None and tracer.enabled and delay > 0.0:
             tracer.transition(
-                request.request_id, "migrating", now, replica=dst.replica_id
+                request.request_id, "disagg_handoff", now,
+                replica=dst.replica_id, stage="transfer",
+                src=src.replica_id, tokens=imported,
             )
         if delay > 0.0:
             self.sim.call_after(
@@ -206,8 +245,48 @@ class DisaggDispatcher:
             self._deliver(request, dst)
 
     def _deliver(self, request: Request, dst) -> None:
+        if not getattr(dst, "placeable", True):
+            # The decode replica crashed (or is still warming) while the
+            # original rode the fabric; the imported prefix died in the
+            # wipe.  Re-route over whatever decode capacity survives —
+            # the replacement prefills from scratch.
+            dst = self.failover_target(request, self.sim.now)
         dst.submit(request)
         self.inflight -= 1
+
+    # -- fault composition -----------------------------------------------------
+
+    def clone_failover(self, clone: Request, now: float) -> None:
+        """A prefill-pool crash orphaned the shadow clone mid-prefill.
+
+        The prefilled KV died with the replica, so fire the pending
+        handoff hook in the clone's aborted state (``generated == 0``):
+        the original takes the direct-decode fallback and prefills from
+        scratch on the decode pool — degraded, never lost.
+        """
+        hook, clone.on_finish = clone.on_finish, None
+        if hook is not None:
+            hook(now)
+
+    def failover_target(self, request: Request, now: float):
+        """Placement for a decode-side request orphaned by a crash.
+
+        Stays inside the decode pool while any of it can still serve
+        (the prefill pool never runs decodes); pool purity yields to
+        liveness only when the whole decode pool is down.
+        """
+        if any(getattr(r, "placeable", True) for r in self.decode_pool):
+            return self._pick(self.decode_router, request, self.decode_pool, now)
+        fleet = list(self.prefill_pool) + list(self.decode_pool)
+        candidates = [
+            r for r in fleet if getattr(r, "placeable", True)
+        ] or list(self.decode_pool)
+        return self.decode_router.route(request, candidates, now)
+
+    def same_pool(self, replica_a: int, replica_b: int) -> bool:
+        """Whether two replica ids sit on the same side of the
+        prefill/decode split (replicas ``[0, num_prefill)`` prefill)."""
+        return (replica_a < self.num_prefill) == (replica_b < self.num_prefill)
 
     # -- helpers ---------------------------------------------------------------
 

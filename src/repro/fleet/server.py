@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.fleet.control import DEFAULT_CONTROL_INTERVAL, ClusterPolicy, FleetController
+from repro.fleet.disagg import CLONE_ID_OFFSET
 from repro.fleet.router import Router
 from repro.metrics.fleet import ElasticStats, merge_serve_results
 from repro.sim.engine import Simulator
@@ -302,11 +303,14 @@ class ReplicaHandle:
     @staticmethod
     def _stealable(request: Request) -> bool:
         """Still-queued work with no resident state anywhere: safe to
-        re-submit on any replica."""
+        re-submit on any replica.  Shadow prefill clones are pinned —
+        their KV must finish where the disaggregated handoff will export
+        it, so relocating one would strand the original's transfer."""
         return (
             request.state == RequestState.PENDING
             and request.generated == 0
             and request.preemptions == 0
+            and request.request_id < CLONE_ID_OFFSET
         )
 
     def queued_requests(self) -> list[Request]:
@@ -396,8 +400,6 @@ class ReplicaHandle:
 
     def result(self, makespan: float) -> ServeResult:
         """Per-replica ``ServeResult`` over the requests routed here."""
-        from repro.fleet.disagg import CLONE_ID_OFFSET
-
         # Shadow prefill clones (disaggregated dispatch) never appear in
         # the fleet result: their original is delivered elsewhere, so an
         # aborted clone here would double-count the request.
@@ -546,6 +548,7 @@ class FleetServer:
                 interval=self.control_interval,
                 work_remaining=self._work_remaining,
                 obs=obs,
+                disagg=self.disagg,
             )
         if self.disagg is not None:
             self.disagg.reset(

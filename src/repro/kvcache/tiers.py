@@ -112,6 +112,33 @@ class TieredKVStore:
         self.stats = TierStats()
         self._extents: dict[tuple[int, ...], _Extent] = {}
         self._seqno = itertools.count()
+        # Observability sinks (duck-typed so this module stays
+        # dependency-light): a tracer records one audit per tier op, a
+        # metrics registry counts token flow.  None = silent, the
+        # bit-identical default.
+        self._tracer = None
+        self._metrics = None
+        self._replica = -1
+
+    def observe(self, tracer=None, metrics=None, replica: int = -1) -> None:
+        """Attach audit/telemetry sinks (idempotent; fleet runs re-arm
+        after every ``_reset`` since the store outlives crashes)."""
+        self._tracer = tracer
+        self._metrics = metrics
+        self._replica = replica
+
+    def _audit(self, now: float, kind: str, *, tokens: int, seconds: float = 0.0,
+               **payload) -> None:
+        """One tier-flow audit record (tokens, priced bytes + latency)."""
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.audit(
+                now, kind, component="kvtiers", replica=self._replica,
+                tokens=tokens, bytes=int(tokens * self.bytes_per_token),
+                seconds=round(seconds, 9), **payload,
+            )
+        if self._metrics is not None:
+            self._metrics.counter(f"{kind}_tokens").inc(tokens)
 
     # -- queries --------------------------------------------------------------
 
@@ -150,7 +177,7 @@ class TieredKVStore:
         already covered or empty)."""
         if not seq or start >= len(seq) or self.host_capacity_tokens == 0:
             return 0
-        deduped = self._dedup_against_existing(seq, start)
+        deduped = self._dedup_against_existing(seq, start, now)
         if deduped is None:
             return 0
         seq, start = deduped
@@ -158,14 +185,15 @@ class TieredKVStore:
         self._extents[seq] = extent
         accepted = extent.tokens
         self.stats.offloaded_tokens += accepted
-        self.stats.swap_out_seconds += self.pricing.host_swap_time(
-            accepted * self.bytes_per_token
-        )
-        self._rebalance()
+        offload_s = self.pricing.host_swap_time(accepted * self.bytes_per_token)
+        self.stats.swap_out_seconds += offload_s
+        self._audit(now, "kv_tier_offload", tokens=accepted, seconds=offload_s,
+                    tier="host")
+        self._rebalance(now)
         return accepted
 
     def _dedup_against_existing(
-        self, seq: tuple[int, ...], start: int
+        self, seq: tuple[int, ...], start: int, now: float
     ) -> tuple[tuple[int, ...], int] | None:
         """Enforce the no-double-residency invariant before insert.
 
@@ -204,10 +232,10 @@ class TieredKVStore:
         if start >= len(seq):
             return None
         for other in doomed:
-            self._drop(other)
+            self._drop(other, now, reason="superseded")
         return seq, start
 
-    def _rebalance(self) -> None:
+    def _rebalance(self, now: float) -> None:
         """Demote host overflow to SSD, drop SSD overflow."""
         while self.resident_tokens("host") > self.host_capacity_tokens:
             victim = self._victim("host")
@@ -216,20 +244,25 @@ class TieredKVStore:
             if self.ssd_capacity_tokens > 0:
                 victim.tier = "ssd"
                 self.stats.spilled_tokens += victim.tokens
-                self.stats.swap_out_seconds += self.pricing.ssd_swap_time(
+                demote_s = self.pricing.ssd_swap_time(
                     victim.tokens * self.bytes_per_token
                 )
+                self.stats.swap_out_seconds += demote_s
+                self._audit(now, "kv_tier_demote", tokens=victim.tokens,
+                            seconds=demote_s, tier="ssd")
             else:
-                self._drop(victim)
+                self._drop(victim, now, reason="capacity")
         while self.resident_tokens("ssd") > self.ssd_capacity_tokens:
             victim = self._victim("ssd")
             if victim is None:
                 break
-            self._drop(victim)
+            self._drop(victim, now, reason="capacity")
 
-    def _drop(self, extent: _Extent) -> None:
+    def _drop(self, extent: _Extent, now: float, reason: str) -> None:
         del self._extents[extent.seq]
         self.stats.dropped_tokens += extent.tokens
+        self._audit(now, "kv_tier_drop", tokens=extent.tokens,
+                    tier=extent.tier, reason=reason)
 
     def _victim(self, tier: str) -> _Extent | None:
         candidates = [e for e in self._extents.values() if e.tier == tier]
@@ -244,14 +277,17 @@ class TieredKVStore:
     # -- swap-in path ---------------------------------------------------------
 
     def fetch(
-        self, token_ids: tuple[int, ...], resident_len: int, now: float
+        self, token_ids: tuple[int, ...], resident_len: int, now: float,
+        request_id: int | None = None,
     ) -> tuple[int, float]:
         """Swap the best extending extent back up to the GPU.
 
         Returns ``(usable_len, swap_seconds)`` where ``usable_len`` is
         the new longest usable prefix of ``token_ids`` (== ``resident_len``
         when no extent helps, with zero cost).  The extent leaves the
-        store — swap-in is a move, never a copy."""
+        store — swap-in is a move, never a copy.  ``request_id`` names
+        the benefiting request in the audit record (the prefill whose
+        launch the swap debt will be charged to)."""
         extent = self._best_extension(token_ids, resident_len)
         if extent is None:
             return resident_len, 0.0
@@ -259,9 +295,15 @@ class TieredKVStore:
         seconds = self.pricing.swap_time(
             extent.tokens * self.bytes_per_token, extent.tier
         )
+        tier = extent.tier
         del self._extents[extent.seq]
         self.stats.swapped_in_tokens += extent.tokens
         self.stats.swap_in_seconds += seconds
+        self._audit(
+            now, "kv_tier_swap_in", tokens=extent.tokens, seconds=seconds,
+            tier=tier,
+            **({} if request_id is None else {"request": request_id}),
+        )
         return usable, seconds
 
     def _best_extension(
@@ -273,8 +315,17 @@ class TieredKVStore:
         insertion order."""
         best = None
         best_usable = resident_len
+        first = token_ids[0] if token_ids else None
         for extent in self._extents.values():
             if extent.start > resident_len:
+                continue
+            seq = extent.seq
+            # An extent whose line diverges at token 0 has usable == 0,
+            # which can never win (winning needs usable > resident_len
+            # >= 0) — skip the token-by-token scan.  This is the common
+            # case under multi-session traffic, where most offloaded
+            # extents belong to other sequence lines.
+            if not seq or seq[0] != first:
                 continue
             usable = self._usable(extent, token_ids)
             if usable > best_usable or (

@@ -9,6 +9,9 @@ two runs' sampled series side by side.
 
 from __future__ import annotations
 
+from repro.obs.telemetry import Histogram
+from repro.obs.tracer import SHADOW_REQUEST_OFFSET
+
 #: Audit payload keys that name a request — used to pull the decisions
 #: that touched a given request into its story.
 _REQUEST_KEYS = ("request", "victim", "beneficiary")
@@ -20,8 +23,19 @@ def _mentions(audit: dict, request_id: int) -> bool:
 
 
 def request_ids(data: dict) -> list[int]:
-    """Every request id with at least one span in the export."""
-    return sorted({span["request"] for span in data["spans"]})
+    """Every *served* request id with at least one span in the export.
+
+    Shadow prefill clones are internal machinery, not arrivals, so they
+    are filtered here; :func:`request_story` still narrates one if its
+    offset id is asked for explicitly.
+    """
+    return sorted(
+        {
+            span["request"]
+            for span in data["spans"]
+            if span["request"] < SHADOW_REQUEST_OFFSET
+        }
+    )
 
 
 def request_story(data: dict, request_id: int) -> str:
@@ -98,25 +112,78 @@ def _series_stats(points: list) -> tuple[float, float]:
     return sum(values) / len(values), max(values)
 
 
+def _snapshot_histogram(metric: str, snapshot: dict) -> Histogram:
+    return Histogram(
+        name=metric,
+        bounds=tuple(snapshot["bounds"]),
+        counts=list(snapshot["counts"]),
+        total=snapshot["total"],
+    )
+
+
 def diff_telemetry(a: dict, b: dict, label_a: str = "A", label_b: str = "B") -> str:
-    """Side-by-side comparison of two exports' telemetry series."""
-    metrics = sorted(set(a["samples"]) | set(b["samples"]))
-    if not metrics:
+    """Side-by-side comparison of two exports' telemetry series.
+
+    Histogram-typed metrics (``server.ttft``, ``server.per_token_latency``,
+    …) are compared from their exported snapshots — count, true mean,
+    and tail quantiles — instead of the sampled series, whose points are
+    *running means*: averaging those again produced a misleading
+    mean-of-means that over-weighted the early, emptier samples.
+    Exports without snapshots (pre-snapshot files) keep the series row.
+    """
+    hist_a = a.get("histograms") or {}
+    hist_b = b.get("histograms") or {}
+    hist_names = sorted(set(hist_a) & set(hist_b))
+    metrics = sorted(
+        (set(a["samples"]) | set(b["samples"])) - set(hist_names)
+    )
+    if not metrics and not hist_names:
         return "no telemetry series in either export"
-    width = max(len(m) for m in metrics)
-    lines = [
-        f"{'metric':<{width}}  {label_a + ' mean':>12} {label_b + ' mean':>12} "
-        f"{'Δ mean':>9}  {label_a + ' max':>12} {label_b + ' max':>12}"
-    ]
-    for metric in metrics:
-        mean_a, max_a = _series_stats(a["samples"].get(metric, []))
-        mean_b, max_b = _series_stats(b["samples"].get(metric, []))
-        if mean_a:
-            delta = f"{(mean_b - mean_a) / abs(mean_a) * 100:+8.1f}%"
-        else:
-            delta = "     n/a"
+    lines = []
+    if metrics:
+        width = max(len(m) for m in metrics)
         lines.append(
-            f"{metric:<{width}}  {mean_a:>12.4g} {mean_b:>12.4g} {delta:>9}  "
-            f"{max_a:>12.4g} {max_b:>12.4g}"
+            f"{'metric':<{width}}  {label_a + ' mean':>12} {label_b + ' mean':>12} "
+            f"{'Δ mean':>9}  {label_a + ' max':>12} {label_b + ' max':>12}"
         )
+        for metric in metrics:
+            mean_a, max_a = _series_stats(a["samples"].get(metric, []))
+            mean_b, max_b = _series_stats(b["samples"].get(metric, []))
+            if mean_a:
+                delta = f"{(mean_b - mean_a) / abs(mean_a) * 100:+8.1f}%"
+            else:
+                delta = "     n/a"
+            lines.append(
+                f"{metric:<{width}}  {mean_a:>12.4g} {mean_b:>12.4g} {delta:>9}  "
+                f"{max_a:>12.4g} {max_b:>12.4g}"
+            )
+    if hist_names:
+        if metrics:
+            lines.append("")
+        width = max(len(m) for m in hist_names)
+        lines.append(
+            f"{'distribution':<{width}}  {'stat':<5} "
+            f"{label_a:>12} {label_b:>12} {'Δ':>9}"
+        )
+        for metric in hist_names:
+            ha = _snapshot_histogram(metric, hist_a[metric])
+            hb = _snapshot_histogram(metric, hist_b[metric])
+            stats = [
+                ("count", float(ha.count), float(hb.count)),
+                ("mean", ha.value, hb.value),
+                ("p50", ha.quantile(0.5), hb.quantile(0.5)),
+                ("p90", ha.quantile(0.9), hb.quantile(0.9)),
+                ("p99", ha.quantile(0.99), hb.quantile(0.99)),
+            ]
+            for i, (stat, va, vb) in enumerate(stats):
+                name = metric if i == 0 else ""
+                if va and va == vb:
+                    delta = "        ="
+                elif va:
+                    delta = f"{(vb - va) / abs(va) * 100:+8.1f}%"
+                else:
+                    delta = "     n/a"
+                lines.append(
+                    f"{name:<{width}}  {stat:<5} {va:>12.4g} {vb:>12.4g} {delta:>9}"
+                )
     return "\n".join(lines)

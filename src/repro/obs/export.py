@@ -10,7 +10,11 @@ https://ui.perfetto.dev open directly:
   request id, so each request renders as its own track nested under its
   replica, phases laid end to end;
 * audit records as ``"i"`` instant events;
-* telemetry series as ``"C"`` counter events.
+* telemetry series as ``"C"`` counter events;
+* final histogram snapshots (bounds + bucket counts) as ``"M"``
+  metadata events, so distribution-typed metrics (``server.ttft``,
+  ``server.per_token_latency``) survive the round trip with their
+  shape — the sampled series only carries their running mean.
 
 Timestamps are microseconds (the format's unit); simulation seconds are
 scaled by 1e6.  ``load_export`` reads either format back into plain
@@ -22,11 +26,29 @@ from __future__ import annotations
 import json
 
 from repro.obs.observe import Observability
+from repro.obs.telemetry import Histogram
 
 #: pid used for control-plane records not tied to one replica.
 CONTROL_PLANE_PID = 999
 
 _US = 1_000_000  # seconds -> microseconds
+
+
+def _histogram_snapshots(obs: Observability) -> list[dict]:
+    """Final state of every histogram-typed metric, export-ready."""
+    snapshots = []
+    for name in obs.metrics.names():
+        metric = obs.metrics.get(name)
+        if isinstance(metric, Histogram):
+            snapshots.append(
+                {
+                    "metric": name,
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "total": metric.total,
+                }
+            )
+    return snapshots
 
 
 def _span_event(span) -> dict:
@@ -98,6 +120,16 @@ def perfetto_trace(obs: Observability) -> dict:
                     "args": {metric: v},
                 }
             )
+    for snapshot in _histogram_snapshots(obs):
+        events.append(
+            {
+                "name": "histogram",
+                "ph": "M",
+                "pid": CONTROL_PLANE_PID,
+                "tid": 0,
+                "args": snapshot,
+            }
+        )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -196,6 +228,9 @@ def export_jsonl(obs: Observability, path: str) -> int:
                     + "\n"
                 )
                 lines += 1
+        for snapshot in _histogram_snapshots(obs):
+            fh.write(json.dumps({"type": "histogram", **snapshot}) + "\n")
+            lines += 1
     return lines
 
 
@@ -203,7 +238,9 @@ def load_export(path: str) -> dict:
     """Read a trace export (Perfetto JSON or JSONL) back into dicts.
 
     Returns ``{"spans": [...], "audits": [...], "samples": {metric:
-    [(t, v), ...]}}`` with spans/audits in the JSONL field shapes.
+    [(t, v), ...]}, "histograms": {metric: snapshot}}`` with
+    spans/audits in the JSONL field shapes.  Exports written before
+    histogram snapshots existed load with ``histograms`` empty.
     """
     with open(path) as fh:
         text = fh.read()
@@ -213,6 +250,7 @@ def load_export(path: str) -> dict:
     spans: list[dict] = []
     audits: list[dict] = []
     samples: dict[str, list[tuple[float, float]]] = {}
+    histograms: dict[str, dict] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -227,16 +265,36 @@ def load_export(path: str) -> dict:
             samples.setdefault(obj["metric"], []).append(
                 (obj["time"], obj["value"])
             )
-    return {"spans": spans, "audits": audits, "samples": samples}
+        elif kind == "histogram":
+            histograms[obj["metric"]] = {
+                "bounds": obj["bounds"],
+                "counts": obj["counts"],
+                "total": obj["total"],
+            }
+    return {
+        "spans": spans,
+        "audits": audits,
+        "samples": samples,
+        "histograms": histograms,
+    }
 
 
 def _load_perfetto(doc: dict) -> dict:
     spans: list[dict] = []
     audits: list[dict] = []
     samples: dict[str, list[tuple[float, float]]] = {}
+    histograms: dict[str, dict] = {}
     for event in doc.get("traceEvents", []):
         ph = event.get("ph")
-        if ph == "X":
+        if ph == "M" and event.get("name") == "histogram":
+            args = event.get("args", {})
+            if "metric" in args:
+                histograms[args["metric"]] = {
+                    "bounds": args.get("bounds", []),
+                    "counts": args.get("counts", []),
+                    "total": args.get("total", 0.0),
+                }
+        elif ph == "X":
             args = dict(event.get("args", {}))
             request = args.pop("request", event.get("tid"))
             pid = event["pid"]
@@ -271,4 +329,9 @@ def _load_perfetto(doc: dict) -> dict:
             samples.setdefault(metric, []).append((event["ts"] / _US, value))
     spans.sort(key=lambda s: (s["start"], s["end"]))
     audits.sort(key=lambda a: a["time"])
-    return {"spans": spans, "audits": audits, "samples": samples}
+    return {
+        "spans": spans,
+        "audits": audits,
+        "samples": samples,
+        "histograms": histograms,
+    }

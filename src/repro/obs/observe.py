@@ -19,7 +19,7 @@ run when comparing.
 from __future__ import annotations
 
 from repro.obs.telemetry import MetricsRegistry
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import SHADOW_REQUEST_OFFSET, Tracer
 
 #: Default sampling cadence, matching the fleet control interval.
 DEFAULT_TELEMETRY_INTERVAL = 0.5
@@ -53,6 +53,23 @@ class Observability:
         # requests into the latency histograms.  Keyed by id(server) —
         # one Observability covers one run, so ids are stable.
         self._finished_cursors: dict[int, int] = {}
+        # Optional SLO burn-rate monitor (off by default; see
+        # :meth:`enable_health`).  When armed it observes on the same
+        # ticks as the samplers, just before each metrics sample.
+        self.health = None
+
+    def enable_health(self, monitor=None):
+        """Arm the SLO burn-rate monitor (see :mod:`repro.obs.health`).
+
+        Pass a configured :class:`~repro.obs.health.SLOHealthMonitor`
+        or let this build one with defaults.  Returns the monitor.
+        """
+        if monitor is None:
+            from repro.obs.health import SLOHealthMonitor
+
+            monitor = SLOHealthMonitor()
+        self.health = monitor
+        return monitor
 
     # ------------------------------------------------------------------
     # Samplers
@@ -95,8 +112,8 @@ class Observability:
         for i in range(start, end):
             request = finished[i]
             first = request.first_token_time
-            if first is None:
-                continue
+            if first is None or request.request_id >= SHADOW_REQUEST_OFFSET:
+                continue  # internal shadow clones are not arrivals
             ttft.observe(first - request.arrival_time)
             if request.generated > 1 and request.finish_time is not None:
                 per_token.observe(
@@ -135,6 +152,11 @@ class Observability:
         )
         metrics.gauge("fleet.tokens_per_s").set(self._tokens_per_s(now, tokens))
         self._sample_slack(active, now)
+        if self.health is not None:
+            self.health.observe(
+                [h.server for h in replicas], now,
+                tracer=self.tracer, metrics=metrics,
+            )
         metrics.sample(now)
 
     def sample_server(self, server, now: float) -> None:
@@ -163,6 +185,10 @@ class Observability:
         metrics.gauge("server.tokens_per_s").set(self._tokens_per_s(now, float(tokens)))
         self._sample_slack(self._live_requests(server, pending), now)
         self._observe_latencies(server, "server")
+        if self.health is not None:
+            self.health.observe(
+                [server], now, tracer=self.tracer, metrics=metrics
+            )
         metrics.sample(now)
 
     @staticmethod

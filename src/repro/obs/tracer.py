@@ -32,7 +32,11 @@ from typing import Iterator
 #: preemption-by-recomputation waits; ``migrating`` covers in-flight
 #: cross-replica KV handoffs (stolen requests with a priced delay);
 #: ``failover`` covers the gap between a replica crash and the orphan's
-#: re-dispatch landing somewhere new.
+#: re-dispatch landing somewhere new; ``disagg_handoff`` covers the
+#: disaggregated two-stage pipeline on the *original* request — shadow
+#: prefill on the prefill pool (``stage="prefill"``) and the priced
+#: fabric transfer (``stage="transfer"``) — up to the decode-side
+#: submission.
 SPAN_PHASES = (
     "queued",
     "prefill",
@@ -40,7 +44,15 @@ SPAN_PHASES = (
     "preempted",
     "migrating",
     "failover",
+    "disagg_handoff",
 )
+
+#: Request ids at or above this offset belong to internal *shadow*
+#: requests (the disaggregated dispatcher's prefill clones), not to
+#: arrivals.  Request-facing views — latency histograms, blame
+#: attribution, ``explain`` request listings — filter them out.
+#: ``repro.fleet.disagg.CLONE_ID_OFFSET`` aliases this constant.
+SHADOW_REQUEST_OFFSET = 1 << 40
 
 
 class AuditRecord:

@@ -217,7 +217,9 @@ class PrefixKVCache:
         _, resident = self._walk(token_ids)
         if resident >= request.input_len - 1:
             return  # GPU residency already covers everything usable
-        usable, seconds = self.tiers.fetch(token_ids, resident, now)
+        usable, seconds = self.tiers.fetch(
+            token_ids, resident, now, request_id=request.request_id
+        )
         if usable <= resident:
             return
         self.import_prefix(token_ids[:usable], now, count_import=False)

@@ -12,6 +12,10 @@ Contracts pinned here:
   prefill replica) falls back to a direct decode-pool submission.
 * **Config gates** — the invalid combinations raise instead of serving
   silently-wrong results.
+* **Composition** — work stealing and fault injection run alongside the
+  two-stage path: steals never cross the pool split or move a clone,
+  and crashes on either side degrade to fallbacks instead of losing
+  requests.
 * **Warm standby** — a standby replica promoted by the autoscaler pays
   zero warm-up (weights stayed resident).
 """
@@ -128,21 +132,6 @@ class TestDisaggGates:
         with pytest.raises(ValueError, match="disagg"):
             make_fleet("loongserve", replicas=2, prefix_cache=True, disagg=2)
 
-    def test_incompatible_with_stealing(self):
-        with pytest.raises(ValueError, match="steal"):
-            make_fleet(
-                "loongserve", replicas=3, prefix_cache=True,
-                disagg=1, steal=True,
-            )
-
-    def test_incompatible_with_faults(self):
-        plan = FaultPlan([ReplicaFault(time=1.0, replica_id=0, downtime_s=2.0)])
-        with pytest.raises(ValueError, match="failure injection"):
-            make_fleet(
-                "loongserve", replicas=3, prefix_cache=True,
-                disagg=1, faults=plan,
-            )
-
     def test_dispatcher_needs_a_prefill_replica(self):
         with pytest.raises(ValueError, match="prefill"):
             DisaggDispatcher(num_prefill=0, pricing=())
@@ -150,6 +139,70 @@ class TestDisaggGates:
     def test_standby_requires_an_autoscaler(self):
         with pytest.raises(ValueError, match="standby"):
             make_fleet("loongserve", replicas=2, standby=1)
+
+
+class TestDisaggComposition:
+    def assert_served_exactly_once(self, result, trace):
+        served = [
+            r.request_id
+            for replica in result.per_replica
+            for r in replica.requests + replica.aborted
+        ]
+        assert sorted(served) == sorted(r.request_id for r in trace)
+        assert len(set(served)) == len(served)
+        assert len(result.finished_requests) + len(result.aborted) == len(trace)
+
+    def test_composes_with_stealing(self):
+        burst = make_trace(LEVAL, rate=40.0, num_requests=32, seed=11)
+        fleet = make_fleet(
+            "loongserve", replicas=4, router="round-robin",
+            requests=burst, num_gpus=4, prefix_cache=True, disagg=1,
+            steal=True,
+        )
+        obs = Observability()
+        fleet.observe(obs)
+        result = fleet.run(clone_requests(burst))
+        self.assert_served_exactly_once(result, burst)
+        assert not result.aborted
+        # Steals stay inside one pool and never touch a shadow clone.
+        num_prefill = fleet.disagg.num_prefill
+        for record in obs.tracer.records:
+            if record.kind == "steal":
+                assert record.payload["request"] < CLONE_ID_OFFSET
+                assert (record.payload["src"] < num_prefill) == (
+                    record.payload["dst"] < num_prefill
+                )
+        assert fleet.disagg.inflight == 0
+
+    def test_decode_crash_reroutes_over_surviving_pool(self):
+        plan = FaultPlan([ReplicaFault(time=0.5, replica_id=2, downtime_s=2.0)])
+        fleet = disagg_fleet(faults=plan)
+        obs = Observability()
+        fleet.observe(obs)
+        result = fleet.run(clone_requests(TRACE))
+        self.assert_served_exactly_once(result, TRACE)
+        assert not result.aborted
+        assert [r.kind for r in obs.tracer.records].count("crash") == 1
+        assert fleet.disagg.inflight == 0
+
+    def test_prefill_crash_degrades_to_direct_decode(self):
+        # Take down the only prefill replica mid-run: orphaned clones and
+        # arrivals during the outage both fall back to direct decode.
+        plan = FaultPlan([ReplicaFault(time=0.2, replica_id=0, downtime_s=5.0)])
+        fleet = disagg_fleet(faults=plan)
+        obs = Observability()
+        fleet.observe(obs)
+        result = fleet.run(clone_requests(TRACE))
+        self.assert_served_exactly_once(result, TRACE)
+        assert not result.aborted
+        fallbacks = [
+            r for r in obs.tracer.records if r.kind == "disagg_fallback"
+        ]
+        assert fallbacks, "prefill-pool outage produced no fallbacks"
+        # Fallback requests are real arrivals, each one served.
+        finished = {r.request_id for r in result.finished_requests}
+        assert {r.payload["request"] for r in fallbacks} <= finished
+        assert fleet.disagg.inflight == 0
 
 
 class TestWarmStandby:

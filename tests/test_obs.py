@@ -331,9 +331,14 @@ class TestExporters:
         p_jsonl = tmp_path / "trace.jsonl"
         export_perfetto(obs, p_json)
         lines = export_jsonl(obs, p_jsonl)
+        histograms = [
+            name for name in obs.metrics.names()
+            if isinstance(obs.metrics.get(name), Histogram)
+        ]
         assert lines == (
             len(obs.tracer.spans) + len(obs.tracer.records)
             + sum(len(s) for s in obs.metrics.series.values())
+            + len(histograms)
         )
         a = load_export(p_json)
         b = load_export(p_jsonl)
@@ -353,6 +358,9 @@ class TestExporters:
             assert sa["end"] == pytest.approx(sb["end"], abs=1e-8)
         assert len(a["audits"]) == len(b["audits"]) == len(obs.tracer.records)
         assert set(a["samples"]) == set(b["samples"]) == set(obs.metrics.series)
+        assert set(a["histograms"]) == set(b["histograms"]) == set(histograms)
+        for name in histograms:
+            assert a["histograms"][name] == b["histograms"][name]
 
     def test_exported_phases_stay_in_taxonomy(self, tmp_path):
         obs = _observed_server_run()
